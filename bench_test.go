@@ -1,0 +1,173 @@
+// Package dataproxy_bench contains one testing.B benchmark per table and
+// figure of the paper's evaluation.  Each benchmark regenerates the
+// corresponding result through the experiment harness and reports the
+// headline number (speedup, average accuracy, bandwidth gap, ...) as a
+// custom benchmark metric, so `go test -bench=. -benchmem` reproduces the
+// entire evaluation in one run.
+package dataproxy_bench
+
+import (
+	"testing"
+
+	"dataproxy/internal/experiments"
+)
+
+// suite is shared across benchmarks so the expensive real-workload runs are
+// executed once and reused, exactly as the harness does.
+var suite = experiments.NewSuite()
+
+func BenchmarkTable3Compositions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table3()) < 100 {
+			b.Fatal("Table III rendering failed")
+		}
+	}
+}
+
+func BenchmarkTable6RuntimeSpeedup(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Speedup
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+func BenchmarkTable7NewCluster(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Speedup
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+func BenchmarkFigure4Accuracy(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Average
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg*100, "avg-accuracy-%")
+}
+
+func BenchmarkFigure5InstructionMix(b *testing.B) {
+	var fpGap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var aiFP, bigFP float64
+		for _, r := range rows {
+			switch r.Name {
+			case "Proxy AlexNet", "Proxy Inception-V3":
+				aiFP += r.Float / 2
+			case "Proxy TeraSort", "Proxy PageRank":
+				bigFP += r.Float / 2
+			}
+		}
+		fpGap = aiFP - bigFP
+	}
+	b.ReportMetric(fpGap*100, "ai-vs-bigdata-fp-gap-%")
+}
+
+func BenchmarkFigure6DiskIO(b *testing.B) {
+	var teraProxy float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "TeraSort" {
+				teraProxy = r.ProxyMBps
+			}
+		}
+	}
+	b.ReportMetric(teraProxy, "proxy-terasort-MBps")
+}
+
+func BenchmarkFigure7Sparsity(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := suite.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SparseMemBW > 0 {
+			ratio = r.DenseMemBW / r.SparseMemBW
+		}
+	}
+	b.ReportMetric(ratio, "dense-vs-sparse-bw-ratio")
+}
+
+func BenchmarkFigure8InputData(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		r, err := suite.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = (r.Sparse.Average + r.Dense.Average) / 2
+	}
+	b.ReportMetric(avg*100, "avg-accuracy-%")
+}
+
+func BenchmarkFigure9NewClusterAccuracy(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.Average
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg*100, "avg-accuracy-%")
+}
+
+func BenchmarkFigure10CrossArch(b *testing.B) {
+	var maxDiff float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDiff = 0
+		for _, r := range rows {
+			d := r.RealSpeedup - r.ProxySpeedup
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	b.ReportMetric(maxDiff, "max-speedup-trend-gap")
+}

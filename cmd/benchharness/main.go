@@ -1,0 +1,137 @@
+// Command benchharness regenerates every table and figure of the paper's
+// evaluation and prints them as text tables.
+//
+// Usage:
+//
+//	benchharness [-only table6,figure4,...] [-tune]
+//
+// Without -only, all tables and figures are produced.  -tune runs the
+// decision-tree auto-tuner for each proxy benchmark against its real
+// workload before the accuracy figures are evaluated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dataproxy/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchharness: ")
+	only := flag.String("only", "", "comma-separated subset of experiments (e.g. table6,figure4)")
+	tune := flag.Bool("tune", false, "auto-tune each proxy benchmark before the accuracy experiments")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			wanted[strings.ToLower(strings.TrimSpace(name))] = true
+		}
+	}
+	include := func(name string) bool { return len(wanted) == 0 || wanted[name] }
+
+	suite := experiments.NewSuite()
+	suite.Tune = *tune
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	static := func(s string) func() (string, error) {
+		return func() (string, error) { return s, nil }
+	}
+	list := []experiment{
+		{"table1", static(experiments.Table1())},
+		{"table2", static(experiments.Table2())},
+		{"table3", static(experiments.Table3())},
+		{"table4", static(experiments.Table4())},
+		{"table5", static(experiments.Table5())},
+		{"table6", func() (string, error) {
+			rows, err := suite.Table6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatRuntimeRows("Table VI: Execution Time on Xeon E5645 (five-node cluster)", rows), nil
+		}},
+		{"figure4", func() (string, error) {
+			rows, err := suite.Figure4()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatAccuracyRows("Figure 4: System and Micro-architectural Data Accuracy on Xeon E5645", rows), nil
+		}},
+		{"figure5", func() (string, error) {
+			rows, err := suite.Figure5()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatMixRows(rows), nil
+		}},
+		{"figure6", func() (string, error) {
+			rows, err := suite.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatDiskRows(rows), nil
+		}},
+		{"figure7", func() (string, error) {
+			r, err := suite.Figure7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFigure7(r), nil
+		}},
+		{"figure8", func() (string, error) {
+			r, err := suite.Figure8()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatAccuracyRows("Figure 8: Proxy K-means Accuracy Using Different Input Data",
+				[]experiments.AccuracyRow{r.Sparse, r.Dense}), nil
+		}},
+		{"table7", func() (string, error) {
+			rows, err := suite.Table7()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatRuntimeRows("Table VII: Execution Time on a New Cluster Configuration (three nodes, 64 GB)", rows), nil
+		}},
+		{"figure9", func() (string, error) {
+			rows, err := suite.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatAccuracyRows("Figure 9: Accuracy on a New Cluster Configuration", rows), nil
+		}},
+		{"figure10", func() (string, error) {
+			rows, err := suite.Figure10()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatSpeedupRows(rows), nil
+		}},
+	}
+
+	failed := false
+	for _, e := range list {
+		if !include(e.name) {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			log.Printf("%s failed: %v", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command datagen generates the synthetic data sets used by the workloads
+// and proxy benchmarks (gensort-style text records, sparse/dense vectors,
+// power-law graphs, image batches) and prints a short summary of their
+// properties.  It mirrors the role of gensort and BDGS in the paper's
+// experimental setup.
+//
+// Usage:
+//
+//	datagen -kind text -records 100000
+//	datagen -kind vectors -count 10000 -dim 256 -sparsity 0.9
+//	datagen -kind graph -vertices 100000 -degree 16
+//	datagen -kind images -count 64 -height 32 -width 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dataproxy/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	kind := flag.String("kind", "text", "data kind: text, vectors, graph, images")
+	seed := flag.Int64("seed", 1, "generator seed")
+	records := flag.Int("records", 100000, "text: number of 100-byte gensort records")
+	count := flag.Int("count", 10000, "vectors/images: element count")
+	dim := flag.Int("dim", 256, "vectors: dimensionality")
+	sparsity := flag.Float64("sparsity", 0.9, "vectors: fraction of zero elements")
+	vertices := flag.Int("vertices", 100000, "graph: vertex count")
+	degree := flag.Int("degree", 16, "graph: average out-degree")
+	height := flag.Int("height", 32, "images: height")
+	width := flag.Int("width", 32, "images: width")
+	flag.Parse()
+
+	switch *kind {
+	case "text":
+		recs, err := datagen.GenerateRecords(datagen.TextConfig{Seed: *seed, Records: *records})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d gensort records (%d bytes)\n", len(recs), datagen.TotalBytes(len(recs)))
+		if len(recs) > 0 {
+			fmt.Printf("first key: %q\n", recs[0].Key)
+		}
+	case "vectors":
+		vecs, err := datagen.GenerateVectors(datagen.VectorConfig{Seed: *seed, Count: *count, Dim: *dim, Sparsity: *sparsity})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d vectors of dimension %d (%.1f%% measured sparsity)\n",
+			len(vecs), *dim, datagen.MeasureSparsity(vecs)*100)
+	case "graph":
+		g, err := datagen.GeneratePowerLawGraph(datagen.GraphConfig{Seed: *seed, Vertices: *vertices, AvgDegree: *degree})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated graph with %d vertices and %d edges (max out-degree %d)\n",
+			g.NumVertices(), g.NumEdges(), g.MaxOutDegree())
+		fmt.Printf("in-degree histogram (10 buckets): %v\n", g.DegreeHistogram(10))
+	case "images":
+		imgs, err := datagen.GenerateImages(datagen.ImageConfig{Seed: *seed, Count: *count, Channels: 3, Height: *height, Width: *width})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d images of %dx%dx3 (%d bytes)\n", len(imgs), *height, *width,
+			len(imgs)*len(imgs[0])*4)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}

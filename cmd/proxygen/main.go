@@ -1,0 +1,77 @@
+// Command proxygen generates a qualified proxy benchmark for one of the
+// five real workloads: it measures the real workload on the simulated
+// five-node cluster, auto-tunes the proxy benchmark's parameters with the
+// decision-tree tuner until the metric deviations are within the threshold,
+// and prints the resulting parameter setting and accuracy report.
+//
+// Usage:
+//
+//	proxygen -workload kmeans [-threshold 0.15] [-iterations 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+	"dataproxy/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proxygen: ")
+	workload := flag.String("workload", "terasort", "workload to proxy: terasort, kmeans, pagerank, alexnet, inception")
+	threshold := flag.Float64("threshold", 0.15, "accepted per-metric deviation")
+	iterations := flag.Int("iterations", 12, "maximum adjust/feedback iterations")
+	flag.Parse()
+
+	spec, err := workloads.ByShortName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := proxy.ForWorkload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measuring %s on the five-node Westmere cluster...\n", spec.Name)
+	realCluster, err := sim.NewCluster(sim.FiveNodeWestmere())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := spec.Run(realCluster); err != nil {
+		log.Fatal(err)
+	}
+	target := realCluster.Report(spec.Name)
+	fmt.Printf("  real runtime: %.0f virtual seconds\n\n", target.Runtime)
+
+	fmt.Printf("auto-tuning %s (threshold %.0f%%, max %d iterations)...\n", b.Name, *threshold*100, *iterations)
+	proxyCluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tuner.Tune(proxyCluster, b, target.Metrics, tuner.Options{
+		Threshold:     *threshold,
+		MaxIterations: *iterations,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  evaluations: %d, iterations: %d, converged: %v\n", res.Evaluations, res.Iterations, res.Converged)
+	fmt.Printf("  qualified setting: %s\n", res.Setting)
+	fmt.Printf("  proxy runtime: %.2f virtual seconds (speedup %.0fX)\n",
+		res.ProxyMetrics.Runtime, sim.Speedup(target.Runtime, res.ProxyMetrics.Runtime))
+	fmt.Printf("\naccuracy against %s:\n%s", spec.Name, res.Report.String())
+	if len(res.History) > 0 {
+		fmt.Println("\ntuning history:")
+		for i, h := range res.History {
+			fmt.Printf("  %2d: %-12s -> adjust %-10s to %.3f (avg accuracy %.3f)\n",
+				i+1, h.Metric, h.Parameter, h.Factor, h.Average)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command proxyrun executes one of the generated proxy benchmarks on a
+// single simulated node and prints its virtual runtime and metric vector.
+//
+// Usage:
+//
+//	proxyrun -workload terasort [-arch westmere|haswell] [-datasize 2.0] [-numtasks 1.5]
+//
+// The -datasize/-chunksize/-numtasks/-weight flags are multiplicative
+// factors over the proxy's base parameters (Table I).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proxyrun: ")
+	workload := flag.String("workload", "terasort", "workload to proxy: terasort, kmeans, pagerank, alexnet, inception")
+	archName := flag.String("arch", "westmere", "processor profile: westmere or haswell")
+	dataSize := flag.Float64("datasize", 1, "dataSize factor")
+	chunkSize := flag.Float64("chunksize", 1, "chunkSize factor")
+	numTasks := flag.Float64("numtasks", 1, "numTasks factor")
+	weight := flag.Float64("weight", 1, "weight factor")
+	flag.Parse()
+
+	b, err := proxy.ForWorkload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, ok := arch.Profiles()[*archName]
+	if !ok {
+		log.Fatalf("unknown architecture %q (want westmere or haswell)", *archName)
+	}
+	cluster, err := sim.NewCluster(sim.SingleNode(profile, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setting := core.Setting{
+		"dataSize":  *dataSize,
+		"chunkSize": *chunkSize,
+		"numTasks":  *numTasks,
+		"weight":    *weight,
+	}
+	rep, err := core.Run(cluster, b, setting)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s\n", b.Name, profile.Name)
+	fmt.Printf("  virtual runtime: %.2f s\n", rep.Runtime)
+	fmt.Printf("  instructions:    %d\n", rep.Aggregate.Instructions())
+	fmt.Println("  metric vector:")
+	for _, name := range perf.MetricNames {
+		fmt.Printf("    %-12s %.6g\n", name, rep.Metrics.Get(name))
+	}
+}

@@ -1,0 +1,36 @@
+// cross_arch: the cross-architecture case study (Section IV-C).
+//
+// The proxy benchmarks are only useful for early-stage architecture
+// exploration if they preserve the *relative* performance of the real
+// workloads across processor generations.  This example runs each real
+// workload on the three-node Westmere and Haswell clusters, runs the
+// corresponding proxy benchmark on one node of each generation, and compares
+// the Westmere-to-Haswell runtime speedups (Figure 10).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dataproxy/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	suite := experiments.NewSuite()
+	rows, err := suite.Figure10()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatSpeedupRows(rows))
+	fmt.Println("A proxy benchmark is usable for design-space exploration when its speedup")
+	fmt.Println("bar moves together with the real workload's across the two processors.")
+	for _, r := range rows {
+		agree := "agrees"
+		if r.RealSpeedup > 1 != (r.ProxySpeedup > 1) {
+			agree = "DISAGREES"
+		}
+		fmt.Printf("  %-12s real %.2fx vs proxy %.2fx -> %s\n", r.Workload, r.RealSpeedup, r.ProxySpeedup, agree)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: run one generated proxy benchmark and print its metric vector.
+//
+// This is the smallest end-to-end use of the library: build the simulated
+// single node, pick the Proxy TeraSort benchmark (a DAG of sort, sampling
+// and graph data motifs over gensort-style records), execute it and inspect
+// the system and micro-architectural profile it produces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A proxy benchmark runs on a single node (the paper runs each proxy on
+	// one slave node of the cluster).
+	cluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	benchmark := proxy.TeraSort()
+	fmt.Printf("%s — proxy for Hadoop TeraSort\n", benchmark.Name)
+	fmt.Printf("data motifs: %v\n\n", benchmark.Motifs())
+
+	report, err := core.Run(cluster, benchmark, core.DefaultSetting())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("virtual runtime: %.2f seconds\n", report.Runtime)
+	fmt.Printf("instructions:    %d\n\n", report.Aggregate.Instructions())
+	fmt.Println("metric vector (Table V):")
+	for _, name := range perf.MetricNames {
+		fmt.Printf("  %-12s %.6g\n", name, report.Metrics.Get(name))
+	}
+}

@@ -1,0 +1,451 @@
+package aimotif
+
+import (
+	"math"
+	"testing"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/motif"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// exec runs fn on a fresh single-node cluster and returns the node counters.
+func exec(t *testing.T, fn func(ex *sim.Exec)) perf.Counters {
+	t.Helper()
+	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	c.RunOnNode("op", 0, 1, fn)
+	cnt := c.Nodes()[0].Counters()
+	if err := cnt.Validate(); err != nil {
+		t.Fatalf("inconsistent counters: %v", err)
+	}
+	return cnt
+}
+
+func imageBatch(t *testing.T, n, c, h, w int) *tensor.Tensor {
+	t.Helper()
+	imgs, err := datagen.GenerateImages(datagen.ImageConfig{Seed: 1, Count: n, Channels: c, Height: h, Width: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ImagesToTensor(imgs, c, h, w)
+}
+
+func TestConv2DShapeAndValues(t *testing.T) {
+	// 1x1 input channel, identity-like filter: convolution with a single 1x1
+	// filter of weight 2 doubles the input.
+	in := tensor.New(1, 1, 4, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i)
+	}
+	filters := tensor.New(1, 1, 1, 1)
+	filters.Set(2, 0, 0, 0, 0)
+	var out *tensor.Tensor
+	exec(t, func(ex *sim.Exec) {
+		var err error
+		out, err = Conv2D(ex, nil, in, filters, ConvConfig{Stride: 1})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if out.Dim(2) != 4 || out.Dim(3) != 4 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	for i, v := range out.Data() {
+		if v != float32(i)*2 {
+			t.Fatalf("element %d = %g, want %g", i, v, float32(i)*2)
+		}
+	}
+}
+
+func TestConv2DStridePaddingAndErrors(t *testing.T) {
+	in := imageBatch(t, 2, 3, 8, 8)
+	filters := deterministicFilters(4, 3, 3, 3)
+	exec(t, func(ex *sim.Exec) {
+		out, err := Conv2D(ex, nil, in, filters, ConvConfig{Stride: 2, Padding: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if out.Dim(0) != 2 || out.Dim(1) != 4 || out.Dim(2) != 4 || out.Dim(3) != 4 {
+			t.Errorf("strided conv shape %v, want [2 4 4 4]", out.Shape())
+		}
+		// Mismatched channels and bad ranks are rejected.
+		badFilters := deterministicFilters(4, 2, 3, 3)
+		if _, err := Conv2D(ex, nil, in, badFilters, ConvConfig{}); err == nil {
+			t.Error("channel mismatch should be rejected")
+		}
+		if _, err := Conv2D(ex, nil, tensor.New(3, 3), filters, ConvConfig{}); err == nil {
+			t.Error("rank-2 input should be rejected")
+		}
+		if _, err := Conv2D(ex, nil, in, deterministicFilters(1, 3, 20, 20), ConvConfig{}); err == nil {
+			t.Error("oversized kernel should be rejected")
+		}
+	})
+	cnt := exec(t, func(ex *sim.Exec) {
+		if _, err := Conv2D(ex, nil, in, filters, ConvConfig{Stride: 1, Padding: 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	if cnt.FloatInstrs == 0 || cnt.FloatInstrs < cnt.IntInstrs {
+		t.Fatal("convolution should be floating-point dominated")
+	}
+}
+
+func TestPool2D(t *testing.T) {
+	in := tensor.New(1, 1, 4, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i)
+	}
+	exec(t, func(ex *sim.Exec) {
+		maxOut, err := Pool2D(ex, nil, in, MaxPool, 2, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 2x2 max pooling of 0..15 arranged row-major.
+		want := []float32{5, 7, 13, 15}
+		for i, v := range maxOut.Data() {
+			if v != want[i] {
+				t.Errorf("max pool[%d] = %g, want %g", i, v, want[i])
+			}
+		}
+		avgOut, err := Pool2D(ex, nil, in, AvgPool, 2, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wantAvg := []float32{2.5, 4.5, 10.5, 12.5}
+		for i, v := range avgOut.Data() {
+			if v != wantAvg[i] {
+				t.Errorf("avg pool[%d] = %g, want %g", i, v, wantAvg[i])
+			}
+		}
+		if _, err := Pool2D(ex, nil, tensor.New(2, 2), MaxPool, 2, 2); err == nil {
+			t.Error("rank-2 input should be rejected")
+		}
+		if _, err := Pool2D(ex, nil, in, MaxPool, 0, 0); err == nil {
+			t.Error("zero window should be rejected")
+		}
+		if _, err := Pool2D(ex, nil, in, MaxPool, 8, 8); err == nil {
+			t.Error("window larger than input should be rejected")
+		}
+	})
+}
+
+func TestFullyConnected(t *testing.T) {
+	in, _ := tensor.FromData([]float32{1, 2, 3, 4}, 2, 2)
+	w, _ := tensor.FromData([]float32{1, 0, 0, 1}, 2, 2) // identity
+	bias, _ := tensor.FromData([]float32{10, 20}, 2)
+	exec(t, func(ex *sim.Exec) {
+		out, err := FullyConnected(ex, nil, in, w, bias)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := []float32{11, 22, 13, 24}
+		for i, v := range out.Data() {
+			if v != want[i] {
+				t.Errorf("fc[%d] = %g, want %g", i, v, want[i])
+			}
+		}
+		if _, err := FullyConnected(ex, nil, in, tensor.New(3, 2), nil); err == nil {
+			t.Error("dimension mismatch should be rejected")
+		}
+		if _, err := FullyConnected(ex, nil, in, w, tensor.New(5)); err == nil {
+			t.Error("bias size mismatch should be rejected")
+		}
+		if _, err := FullyConnected(ex, nil, tensor.New(2, 2, 2), w, nil); err == nil {
+			t.Error("rank-3 input should be rejected")
+		}
+	})
+}
+
+func TestElementwiseMultiplyAndActivations(t *testing.T) {
+	a, _ := tensor.FromData([]float32{1, -2, 3, -4}, 2, 2)
+	exec(t, func(ex *sim.Exec) {
+		prod, err := ElementwiseMultiply(ex, nil, a, a)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, v := range prod.Data() {
+			if v != a.Data()[i]*a.Data()[i] {
+				t.Errorf("square[%d] = %g", i, v)
+			}
+		}
+		if _, err := ElementwiseMultiply(ex, nil, a, tensor.New(3, 3)); err == nil {
+			t.Error("shape mismatch should be rejected")
+		}
+
+		relu := Activate(ex, nil, a, ReLU)
+		want := []float32{1, 0, 3, 0}
+		for i, v := range relu.Data() {
+			if v != want[i] {
+				t.Errorf("relu[%d] = %g, want %g", i, v, want[i])
+			}
+		}
+		sig := Activate(ex, nil, a, Sigmoid)
+		for _, v := range sig.Data() {
+			if v <= 0 || v >= 1 {
+				t.Errorf("sigmoid value %g outside (0,1)", v)
+			}
+		}
+		th := Activate(ex, nil, a, Tanh)
+		for _, v := range th.Data() {
+			if v <= -1 || v >= 1 {
+				t.Errorf("tanh value %g outside (-1,1)", v)
+			}
+		}
+	})
+}
+
+func TestSoftmax(t *testing.T) {
+	in, _ := tensor.FromData([]float32{1, 2, 3, 1, 1, 1}, 2, 3)
+	exec(t, func(ex *sim.Exec) {
+		out, err := Softmax(ex, nil, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for b := 0; b < 2; b++ {
+			var sum float64
+			for i := 0; i < 3; i++ {
+				v := float64(out.At(b, i))
+				if v <= 0 || v >= 1 {
+					t.Errorf("softmax value %g outside (0,1)", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				t.Errorf("softmax row %d sums to %g", b, sum)
+			}
+		}
+		// Uniform logits give uniform probabilities.
+		if math.Abs(float64(out.At(1, 0))-1.0/3) > 1e-5 {
+			t.Errorf("uniform row should give 1/3, got %g", out.At(1, 0))
+		}
+		if _, err := Softmax(ex, nil, tensor.New(2, 2, 2)); err == nil {
+			t.Error("rank-3 softmax should be rejected")
+		}
+	})
+}
+
+func TestBatchNormZeroMeanUnitVariance(t *testing.T) {
+	in := imageBatch(t, 4, 3, 8, 8)
+	exec(t, func(ex *sim.Exec) {
+		out, err := BatchNorm(ex, nil, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Per-channel mean ~0 and variance ~1.
+		n, c, h, w := 4, 3, 8, 8
+		for ch := 0; ch < c; ch++ {
+			var sum, sq float64
+			for b := 0; b < n; b++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						v := float64(out.At(b, ch, y, x))
+						sum += v
+						sq += v * v
+					}
+				}
+			}
+			count := float64(n * h * w)
+			mean := sum / count
+			variance := sq/count - mean*mean
+			if math.Abs(mean) > 1e-3 {
+				t.Errorf("channel %d mean %g, want ~0", ch, mean)
+			}
+			if math.Abs(variance-1) > 1e-2 {
+				t.Errorf("channel %d variance %g, want ~1", ch, variance)
+			}
+		}
+		if _, err := BatchNorm(ex, nil, tensor.New(4, 4)); err == nil {
+			t.Error("rank-2 batch norm should be rejected")
+		}
+	})
+}
+
+func TestCosineNormUnitLength(t *testing.T) {
+	in, _ := tensor.FromData([]float32{3, 4, 0, 0, 5, 12}, 3, 2)
+	exec(t, func(ex *sim.Exec) {
+		out, err := CosineNorm(ex, nil, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		norms := []float64{}
+		for b := 0; b < 3; b++ {
+			var sq float64
+			for i := 0; i < 2; i++ {
+				sq += float64(out.At(b, i)) * float64(out.At(b, i))
+			}
+			norms = append(norms, math.Sqrt(sq))
+		}
+		if math.Abs(norms[0]-1) > 1e-5 || math.Abs(norms[2]-1) > 1e-5 {
+			t.Errorf("non-zero rows should have unit norm, got %v", norms)
+		}
+		if norms[1] != 0 {
+			t.Errorf("all-zero row should stay zero, got %g", norms[1])
+		}
+		if _, err := CosineNorm(ex, nil, tensor.New(4)); err == nil {
+			t.Error("rank-1 cosine norm should be rejected")
+		}
+	})
+}
+
+func TestDropout(t *testing.T) {
+	in := tensor.New(1, 1, 32, 32)
+	in.Fill(1)
+	exec(t, func(ex *sim.Exec) {
+		out, err := Dropout(ex, nil, in, 0.5, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		zeros, kept := 0, 0
+		for _, v := range out.Data() {
+			if v == 0 {
+				zeros++
+			} else {
+				kept++
+				if v != 2 {
+					t.Errorf("survivor should be scaled to 2, got %g", v)
+				}
+			}
+		}
+		frac := float64(zeros) / float64(zeros+kept)
+		if frac < 0.4 || frac > 0.6 {
+			t.Errorf("dropout fraction %g, want ~0.5", frac)
+		}
+		if _, err := Dropout(ex, nil, in, 1.0, 7); err == nil {
+			t.Error("rate 1.0 should be rejected")
+		}
+		if _, err := Dropout(ex, nil, in, -0.1, 7); err == nil {
+			t.Error("negative rate should be rejected")
+		}
+	})
+}
+
+func TestReductions(t *testing.T) {
+	in, _ := tensor.FromData([]float32{1, 2, 3, 4, -5, 0}, 6)
+	exec(t, func(ex *sim.Exec) {
+		sum := ReduceSum(ex, nil, in)
+		if sum.At() != 5 {
+			t.Errorf("ReduceSum = %g, want 5", sum.At())
+		}
+		max := ReduceMax(ex, nil, in)
+		if max.At() != 4 {
+			t.Errorf("ReduceMax = %g, want 4", max.At())
+		}
+		empty := ReduceMax(ex, nil, tensor.New(0))
+		if empty.At() != 0 {
+			t.Errorf("ReduceMax of empty tensor = %g, want 0", empty.At())
+		}
+	})
+}
+
+func TestRegionsCache(t *testing.T) {
+	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	c.RunOnNode("regions", 0, 1, func(ex *sim.Exec) {
+		regs := NewRegions()
+		x := tensor.New(8)
+		a := regs.Of(ex, x)
+		b := regs.Of(ex, x)
+		if a != b {
+			t.Error("Regions should cache per tensor")
+		}
+		y := tensor.New(8)
+		if regs.Of(ex, y) == a {
+			t.Error("distinct tensors should get distinct regions")
+		}
+		var nilRegs *Regions
+		r1 := nilRegs.Of(ex, x)
+		r2 := nilRegs.Of(ex, x)
+		if r1 == r2 {
+			t.Error("nil Regions should allocate fresh regions")
+		}
+	})
+}
+
+func TestRegisteredAIMotifs(t *testing.T) {
+	// Every AI motif registered in the shared registry must run on an image
+	// batch dataset and produce a non-empty result.
+	names := []string{"convolution", "max_pooling", "avg_pooling", "fully_connected",
+		"elementwise_multiply", "relu", "sigmoid", "tanh", "softmax",
+		"batch_norm", "cosine_norm", "dropout", "reduce_sum", "reduce_max"}
+	imgs, _ := datagen.GenerateImages(datagen.CIFAR10(3, 4))
+	batch := ImagesToTensor(imgs, 3, 32, 32)
+	for _, name := range names {
+		impl, err := motif.Lookup(name)
+		if err != nil {
+			t.Fatalf("AI motif %s not registered: %v", name, err)
+		}
+		c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+		var out *motif.Dataset
+		c.RunOnNode(name, 0, 1, func(ex *sim.Exec) {
+			out = impl.Run(ex, &motif.Dataset{Tensors: []*tensor.Tensor{batch}})
+		})
+		if out == nil || (len(out.Tensors) == 0 && len(out.Floats) == 0) {
+			t.Errorf("AI motif %s produced no output", name)
+		}
+		if c.Nodes()[0].Counters().Instructions() == 0 {
+			t.Errorf("AI motif %s reported no work", name)
+		}
+		if err := c.Nodes()[0].Counters().Validate(); err != nil {
+			t.Errorf("AI motif %s counters: %v", name, err)
+		}
+	}
+}
+
+func TestAIMotifsRunWithoutTensors(t *testing.T) {
+	// The wrappers must degrade gracefully when the DAG hands them a
+	// non-tensor dataset.
+	for _, name := range []string{"convolution", "fully_connected", "softmax", "reduce_sum"} {
+		impl, err := motif.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+		var out *motif.Dataset
+		c.RunOnNode(name, 0, 1, func(ex *sim.Exec) {
+			out = impl.Run(ex, &motif.Dataset{Floats: []float64{1, 2, 3, 4}})
+		})
+		if out == nil {
+			t.Errorf("%s returned nil on float input", name)
+		}
+	}
+}
+
+func TestAIInstructionMixIsFloatHeavy(t *testing.T) {
+	// The paper observes ~40% floating point instructions for TensorFlow
+	// workloads vs <1% for Hadoop ones; the convolution motif should be
+	// clearly FP-heavy.
+	imgs, _ := datagen.GenerateImages(datagen.CIFAR10(5, 2))
+	batch := ImagesToTensor(imgs, 3, 32, 32)
+	cnt := exec(t, func(ex *sim.Exec) {
+		filters := deterministicFilters(16, 3, 3, 3)
+		if _, err := Conv2D(ex, nil, batch, filters, ConvConfig{Stride: 1, Padding: 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	fpShare := float64(cnt.FloatInstrs) / float64(cnt.Instructions())
+	if fpShare < 0.3 {
+		t.Fatalf("convolution FP share %g should exceed 0.3", fpShare)
+	}
+}
+
+func TestImagesToTensor(t *testing.T) {
+	imgs, _ := datagen.GenerateImages(datagen.ImageConfig{Seed: 1, Count: 2, Channels: 1, Height: 2, Width: 2})
+	batch := ImagesToTensor(imgs, 1, 2, 2)
+	if batch.Dim(0) != 2 || batch.Size() != 8 {
+		t.Fatalf("batch shape %v", batch.Shape())
+	}
+	if batch.At(1, 0, 1, 1) != imgs[1][3] {
+		t.Fatal("image data should be copied in CHW order")
+	}
+}

@@ -1,0 +1,193 @@
+// Package aimotif implements the AI data motif implementations of the paper
+// (Figure 2, right column): convolution, fully-connected layers, pooling,
+// element-wise operations, activations, normalisation, dropout and
+// reductions, all operating on NCHW tensors and instrumented against the
+// simulation engine exactly like the big data motifs.
+//
+// The raw operations are used directly by the dataflow (TensorFlow-like)
+// substrate to build AlexNet and Inception-V3; thin wrappers register each
+// operation in the shared motif registry so the AI proxy benchmarks can be
+// expressed as DAGs of the same motif vocabulary.
+package aimotif
+
+import (
+	"fmt"
+
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// Regions caches the synthetic address region assigned to each tensor so
+// repeated uses of the same tensor (weights reused every step, activations
+// consumed by the next layer) exhibit cache locality in the model.  A nil
+// *Regions is valid and simply allocates a fresh region per use.
+type Regions struct {
+	byTensor map[*tensor.Tensor]sim.Region
+}
+
+// NewRegions returns an empty region cache.
+func NewRegions() *Regions {
+	return &Regions{byTensor: make(map[*tensor.Tensor]sim.Region)}
+}
+
+// Of returns (allocating if needed) the region backing t on ex's node.
+func (r *Regions) Of(ex *sim.Exec, t *tensor.Tensor) sim.Region {
+	if r == nil || r.byTensor == nil {
+		return ex.Node().Alloc(t.Bytes())
+	}
+	if reg, ok := r.byTensor[t]; ok {
+		return reg
+	}
+	reg := ex.Node().Alloc(t.Bytes())
+	r.byTensor[t] = reg
+	return reg
+}
+
+// ConvConfig parameterises a 2-D convolution: stride and symmetric padding,
+// matching the knobs the paper lists for AI data motifs (input/filter
+// height, width, channel count, stride, padding algorithm).
+type ConvConfig struct {
+	Stride  int
+	Padding int
+}
+
+const siteAI = 0x41490000 // branch-site namespace for AI motifs
+
+// Conv2D performs a 2-D convolution of in (N, C, H, W) with filters
+// (K, C, KH, KW) and returns the (N, K, OH, OW) output.  The computation is
+// real; the instruction stream and memory traffic are reported to ex at
+// output-row granularity to keep modelling overhead bounded.
+func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor, error) {
+	if in.Rank() != 4 || filters.Rank() != 4 {
+		return nil, fmt.Errorf("aimotif: Conv2D expects rank-4 input and filters, got %d and %d", in.Rank(), filters.Rank())
+	}
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	k, fc, kh, kw := filters.Dim(0), filters.Dim(1), filters.Dim(2), filters.Dim(3)
+	if fc != c {
+		return nil, fmt.Errorf("aimotif: Conv2D channel mismatch: input has %d, filters expect %d", c, fc)
+	}
+	stride := cfg.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	pad := cfg.Padding
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("aimotif: Conv2D output would be empty (%dx%d)", oh, ow)
+	}
+	out := tensor.New(n, k, oh, ow)
+	inData, fData, oData := in.Data(), filters.Data(), out.Data()
+	rIn, rF, rOut := regionOf(regs, ex, in), regionOf(regs, ex, filters), regionOf(regs, ex, out)
+
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < k; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ic := 0; ic < c; ic++ {
+						for fy := 0; fy < kh; fy++ {
+							iy := oy*stride + fy - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for fx := 0; fx < kw; fx++ {
+								ix := ox*stride + fx - pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += inData[((b*c+ic)*h+iy)*w+ix] * fData[((oc*c+ic)*kh+fy)*kw+fx]
+							}
+						}
+					}
+					oData[((b*k+oc)*oh+oy)*ow+ox] = sum
+				}
+				// Account one output row at a time: the row touches the
+				// filter once and a (kh x w) input window per channel.
+				ex.Float(uint64(2 * ow * c * kh * kw))
+				ex.Int(uint64(ow * c * kh))
+				ex.Load(rF, uint64(oc*c*kh*kw)*4, uint64(c*kh*kw)*4)
+				ex.Load(rIn, uint64(((b*c)*h+oy*stride)*w)*4, uint64(c*kh*w)*4)
+				ex.Store(rOut, uint64(((b*k+oc)*oh+oy)*ow)*4, uint64(ow)*4)
+				ex.Branch(siteAI+1, oy%2 == 0)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PoolKind selects max or average pooling.
+type PoolKind int
+
+// Pooling kinds.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+// Pool2D applies window pooling to in (N, C, H, W) with the given window and
+// stride and returns the pooled tensor.
+func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, window, stride int) (*tensor.Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("aimotif: Pool2D expects a rank-4 input, got %d", in.Rank())
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("aimotif: Pool2D window %d must be positive", window)
+	}
+	if stride <= 0 {
+		stride = window
+	}
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	if window > h || window > w {
+		return nil, fmt.Errorf("aimotif: Pool2D window %d larger than input %dx%d", window, h, w)
+	}
+	oh := (h-window)/stride + 1
+	ow := (w-window)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("aimotif: Pool2D output would be empty")
+	}
+	out := tensor.New(n, c, oh, ow)
+	inData, oData := in.Data(), out.Data()
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var agg float32
+					if kind == MaxPool {
+						agg = float32(-3.4e38)
+					}
+					for fy := 0; fy < window; fy++ {
+						for fx := 0; fx < window; fx++ {
+							v := inData[((b*c+ch)*h+oy*stride+fy)*w+ox*stride+fx]
+							if kind == MaxPool {
+								if v > agg {
+									agg = v
+								}
+							} else {
+								agg += v
+							}
+						}
+					}
+					if kind == AvgPool {
+						agg /= float32(window * window)
+					}
+					oData[((b*c+ch)*oh+oy)*ow+ox] = agg
+				}
+				ex.Float(uint64(ow * window * window))
+				ex.Int(uint64(ow * window))
+				ex.Load(rIn, uint64(((b*c+ch)*h+oy*stride)*w)*4, uint64(window*w)*4)
+				ex.Store(rOut, uint64(((b*c+ch)*oh+oy)*ow)*4, uint64(ow)*4)
+				ex.Branch(siteAI+2, kind == MaxPool)
+			}
+		}
+	}
+	return out, nil
+}
+
+func regionOf(regs *Regions, ex *sim.Exec, t *tensor.Tensor) sim.Region {
+	if regs == nil {
+		return ex.Node().Alloc(t.Bytes())
+	}
+	return regs.Of(ex, t)
+}

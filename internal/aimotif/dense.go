@@ -1,0 +1,148 @@
+package aimotif
+
+import (
+	"fmt"
+	"math"
+
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// FullyConnected computes out = in * W + b where in is (N, In), weights is
+// (In, Out) and bias is (Out) (bias may be nil).
+func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Rank() != 2 || weights.Rank() != 2 {
+		return nil, fmt.Errorf("aimotif: FullyConnected expects rank-2 input and weights")
+	}
+	n, inDim := in.Dim(0), in.Dim(1)
+	wIn, outDim := weights.Dim(0), weights.Dim(1)
+	if inDim != wIn {
+		return nil, fmt.Errorf("aimotif: FullyConnected dimension mismatch %d vs %d", inDim, wIn)
+	}
+	if bias != nil && bias.Size() != outDim {
+		return nil, fmt.Errorf("aimotif: bias size %d does not match output %d", bias.Size(), outDim)
+	}
+	out := tensor.New(n, outDim)
+	inData, wData, oData := in.Data(), weights.Data(), out.Data()
+	rIn, rW, rOut := regionOf(regs, ex, in), regionOf(regs, ex, weights), regionOf(regs, ex, out)
+	for b := 0; b < n; b++ {
+		for o := 0; o < outDim; o++ {
+			var sum float32
+			for i := 0; i < inDim; i++ {
+				sum += inData[b*inDim+i] * wData[i*outDim+o]
+			}
+			if bias != nil {
+				sum += bias.Data()[o]
+			}
+			oData[b*outDim+o] = sum
+		}
+		// Per input row: the row is streamed once per output neuron, the
+		// weight matrix is streamed column-wise.
+		ex.Float(uint64(2 * inDim * outDim))
+		ex.Int(uint64(outDim))
+		ex.Load(rIn, uint64(b*inDim)*4, uint64(inDim)*4)
+		ex.Load(rW, 0, uint64(inDim*outDim)*4)
+		ex.Store(rOut, uint64(b*outDim)*4, uint64(outDim)*4)
+		ex.Branch(siteAI+3, b%2 == 0)
+	}
+	return out, nil
+}
+
+// ElementwiseMultiply computes the Hadamard product of two same-shaped
+// tensors.
+func ElementwiseMultiply(ex *sim.Exec, regs *Regions, a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if !tensor.SameShape(a, b) {
+		return nil, fmt.Errorf("aimotif: ElementwiseMultiply shape mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	out := tensor.New(a.Shape()...)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := range ad {
+		od[i] = ad[i] * bd[i]
+	}
+	ra, rb, ro := regionOf(regs, ex, a), regionOf(regs, ex, b), regionOf(regs, ex, out)
+	ex.Load(ra, 0, a.Bytes())
+	ex.Load(rb, 0, b.Bytes())
+	ex.Store(ro, 0, out.Bytes())
+	ex.Float(uint64(a.Size()))
+	return out, nil
+}
+
+// Activation selects the element-wise activation function.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Sigmoid
+	Tanh
+)
+
+// Activate applies the activation element-wise.
+func Activate(ex *sim.Exec, regs *Regions, in *tensor.Tensor, act Activation) *tensor.Tensor {
+	out := tensor.New(in.Shape()...)
+	id, od := in.Data(), out.Data()
+	negatives := 0
+	for i, v := range id {
+		switch act {
+		case ReLU:
+			if v > 0 {
+				od[i] = v
+			} else {
+				negatives++
+			}
+		case Sigmoid:
+			od[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		case Tanh:
+			od[i] = float32(math.Tanh(float64(v)))
+		}
+	}
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	ex.Load(rIn, 0, in.Bytes())
+	ex.Store(rOut, 0, out.Bytes())
+	switch act {
+	case ReLU:
+		// ReLU is a compare-and-select per element (the Logic AI motif).
+		ex.Int(uint64(in.Size()) * 2)
+		// Report the actual taken/not-taken mix of the sign test in bulk.
+		for i := 0; i < in.Size(); i += 64 {
+			ex.Branch(siteAI+4, i < negatives)
+		}
+	case Sigmoid, Tanh:
+		ex.Float(uint64(in.Size()) * 10)
+	}
+	return out
+}
+
+// Softmax applies a row-wise softmax to a (N, C) tensor.
+func Softmax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Rank() != 2 {
+		return nil, fmt.Errorf("aimotif: Softmax expects a rank-2 tensor")
+	}
+	n, c := in.Dim(0), in.Dim(1)
+	out := tensor.New(n, c)
+	id, od := in.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		row := id[b*c : (b+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			od[b*c+i] = float32(e)
+			sum += e
+		}
+		for i := range row {
+			od[b*c+i] = float32(float64(od[b*c+i]) / sum)
+		}
+	}
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	ex.Load(rIn, 0, in.Bytes())
+	ex.Store(rOut, 0, out.Bytes())
+	ex.Float(uint64(in.Size()) * 12)
+	ex.Int(uint64(in.Size()))
+	return out, nil
+}

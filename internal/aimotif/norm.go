@@ -1,0 +1,154 @@
+package aimotif
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// BatchNorm normalises a (N, C, H, W) tensor per channel to zero mean and
+// unit variance (inference-style batch normalisation with statistics
+// computed from the batch itself).
+func BatchNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Rank() != 4 {
+		return nil, fmt.Errorf("aimotif: BatchNorm expects a rank-4 tensor")
+	}
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	out := tensor.New(n, c, h, w)
+	id, od := in.Data(), out.Data()
+	plane := h * w
+	const eps = 1e-5
+	for ch := 0; ch < c; ch++ {
+		var sum, sq float64
+		count := 0
+		for b := 0; b < n; b++ {
+			base := (b*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				v := float64(id[base+i])
+				sum += v
+				sq += v * v
+				count++
+			}
+		}
+		mean := sum / float64(count)
+		variance := sq/float64(count) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := 1 / math.Sqrt(variance+eps)
+		for b := 0; b < n; b++ {
+			base := (b*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				od[base+i] = float32((float64(id[base+i]) - mean) * inv)
+			}
+		}
+	}
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	ex.Load(rIn, 0, in.Bytes())
+	ex.Load(rIn, 0, in.Bytes()) // second pass for normalisation
+	ex.Store(rOut, 0, out.Bytes())
+	ex.Float(uint64(in.Size()) * 6)
+	ex.Int(uint64(c) * 8)
+	return out, nil
+}
+
+// CosineNorm scales each sample (first dimension) of the tensor to unit L2
+// norm (cosine normalisation).
+func CosineNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Rank() < 2 {
+		return nil, fmt.Errorf("aimotif: CosineNorm expects at least rank-2")
+	}
+	n := in.Dim(0)
+	per := in.Size() / n
+	out := tensor.New(in.Shape()...)
+	id, od := in.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		var sq float64
+		for i := 0; i < per; i++ {
+			v := float64(id[b*per+i])
+			sq += v * v
+		}
+		inv := 1.0
+		if sq > 0 {
+			inv = 1 / math.Sqrt(sq)
+		}
+		for i := 0; i < per; i++ {
+			od[b*per+i] = float32(float64(id[b*per+i]) * inv)
+		}
+	}
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	ex.Load(rIn, 0, in.Bytes())
+	ex.Store(rOut, 0, out.Bytes())
+	ex.Float(uint64(in.Size()) * 4)
+	return out, nil
+}
+
+// Dropout zeroes a rate fraction of the elements (deterministically seeded)
+// and scales the survivors by 1/(1-rate), the training-time formulation.
+func Dropout(ex *sim.Exec, regs *Regions, in *tensor.Tensor, rate float64, seed int64) (*tensor.Tensor, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("aimotif: dropout rate %g outside [0,1)", rate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := tensor.New(in.Shape()...)
+	id, od := in.Data(), out.Data()
+	scale := float32(1 / (1 - rate))
+	dropped := 0
+	for i, v := range id {
+		if rng.Float64() < rate {
+			dropped++
+			continue
+		}
+		od[i] = v * scale
+	}
+	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	ex.Load(rIn, 0, in.Bytes())
+	ex.Store(rOut, 0, out.Bytes())
+	ex.Float(uint64(in.Size() - dropped))
+	ex.Int(uint64(in.Size()) * 3)
+	for i := 0; i < in.Size(); i += 64 {
+		ex.Branch(siteAI+5, i < dropped)
+	}
+	return out, nil
+}
+
+// ReduceSum sums all elements of the tensor into a scalar tensor.
+func ReduceSum(ex *sim.Exec, regs *Regions, in *tensor.Tensor) *tensor.Tensor {
+	var sum float64
+	for _, v := range in.Data() {
+		sum += float64(v)
+	}
+	out := tensor.New()
+	out.Set(float32(sum))
+	ex.Load(regionOf(regs, ex, in), 0, in.Bytes())
+	ex.Float(uint64(in.Size()))
+	return out
+}
+
+// ReduceMax finds the maximum element of the tensor (the Sort-class AI
+// motif) and returns it as a scalar tensor.
+func ReduceMax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New()
+	data := in.Data()
+	if len(data) == 0 {
+		return out
+	}
+	maxV := data[0]
+	updates := 0
+	for _, v := range data {
+		if v > maxV {
+			maxV = v
+			updates++
+		}
+	}
+	out.Set(maxV)
+	ex.Load(regionOf(regs, ex, in), 0, in.Bytes())
+	ex.Int(uint64(in.Size()) * 2)
+	for i := 0; i < in.Size(); i += 64 {
+		ex.Branch(siteAI+6, i < updates)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package aimotif
+
+import (
+	"math/rand"
+
+	"dataproxy/internal/motif"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// The AI data motif implementations are registered in the shared motif
+// registry so that AI proxy benchmarks can be expressed as DAGs of the same
+// motif vocabulary as the big data proxies (Table III of the paper lists
+// convolution, fully connected, pooling, ReLU, softmax, dropout and batch
+// normalisation as the components of Proxy AlexNet and Proxy Inception-V3).
+func init() {
+	reg := func(name string, class motif.Class, desc string, fn func(ex *sim.Exec, in *motif.Dataset) *motif.Dataset) {
+		motif.Register(motif.Impl{Name: name, Class: class, Description: desc, Run: fn})
+	}
+	reg("convolution", motif.ClassTransform, "2-D convolution over the image batch (3x3 filters)", runConvolution)
+	reg("max_pooling", motif.ClassSampling, "2x2 max pooling over the feature maps", runMaxPooling)
+	reg("avg_pooling", motif.ClassSampling, "2x2 average pooling over the feature maps", runAvgPooling)
+	reg("fully_connected", motif.ClassMatrix, "fully connected (dense) layer over flattened samples", runFullyConnected)
+	reg("elementwise_multiply", motif.ClassMatrix, "element-wise (Hadamard) product of the feature maps", runElementwiseMultiply)
+	reg("relu", motif.ClassLogic, "rectified linear activation", runReLU)
+	reg("sigmoid", motif.ClassMatrix, "sigmoid activation", runSigmoid)
+	reg("tanh", motif.ClassMatrix, "hyperbolic tangent activation", runTanh)
+	reg("softmax", motif.ClassMatrix, "row-wise softmax over class scores", runSoftmax)
+	reg("batch_norm", motif.ClassStatistics, "per-channel batch normalisation", runBatchNorm)
+	reg("cosine_norm", motif.ClassStatistics, "per-sample cosine (L2) normalisation", runCosineNorm)
+	reg("dropout", motif.ClassStatistics, "randomly zero a fraction of activations", runDropout)
+	reg("reduce_sum", motif.ClassStatistics, "sum reduction over all elements", runReduceSum)
+	reg("reduce_max", motif.ClassSort, "max reduction over all elements", runReduceMax)
+}
+
+// proxyFilterCount and related constants are the representative layer shapes
+// used when an AI motif runs standalone inside a proxy benchmark DAG.
+const (
+	proxyFilterCount = 32
+	proxyKernelSize  = 3
+	proxyDenseWidth  = 128
+	proxyDropoutRate = 0.5
+)
+
+// batchFrom extracts (or synthesises) the rank-4 NCHW image batch an AI
+// motif operates on.
+func batchFrom(in *motif.Dataset) *tensor.Tensor {
+	for _, t := range in.Tensors {
+		if t.Rank() == 4 {
+			return t
+		}
+	}
+	if len(in.Tensors) > 0 {
+		t := in.Tensors[0]
+		if t.Rank() == 2 {
+			if r, err := t.Reshape(t.Dim(0), 1, 1, t.Dim(1)); err == nil {
+				return r
+			}
+		}
+	}
+	// Fall back to packing the numeric payload into a small image batch so
+	// the motif still exercises its code path on arbitrary DAG inputs.
+	const c, h, w = 3, 16, 16
+	per := c * h * w
+	n := len(in.Floats) / per
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	t := tensor.New(n, c, h, w)
+	d := t.Data()
+	for i := range d {
+		if i < len(in.Floats) {
+			d[i] = float32(in.Floats[i])
+		} else {
+			d[i] = float32(i%251) / 251
+		}
+	}
+	return t
+}
+
+func wrap(t *tensor.Tensor) *motif.Dataset { return &motif.Dataset{Tensors: []*tensor.Tensor{t}} }
+
+func deterministicFilters(k, c, kh, kw int) *tensor.Tensor {
+	f := tensor.New(k, c, kh, kw)
+	rng := rand.New(rand.NewSource(7))
+	d := f.Data()
+	for i := range d {
+		d[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	return f
+}
+
+func runConvolution(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	batch := batchFrom(in)
+	filters := deterministicFilters(proxyFilterCount, batch.Dim(1), proxyKernelSize, proxyKernelSize)
+	out, err := Conv2D(ex, nil, batch, filters, ConvConfig{Stride: 1, Padding: 1})
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runPool(ex *sim.Exec, in *motif.Dataset, kind PoolKind) *motif.Dataset {
+	batch := batchFrom(in)
+	window := 2
+	if batch.Dim(2) < 2 || batch.Dim(3) < 2 {
+		window = 1
+	}
+	out, err := Pool2D(ex, nil, batch, kind, window, window)
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runMaxPooling(ex *sim.Exec, in *motif.Dataset) *motif.Dataset { return runPool(ex, in, MaxPool) }
+func runAvgPooling(ex *sim.Exec, in *motif.Dataset) *motif.Dataset { return runPool(ex, in, AvgPool) }
+
+func flatten(batch *tensor.Tensor) *tensor.Tensor {
+	n := batch.Dim(0)
+	per := batch.Size() / n
+	flat, err := batch.Reshape(n, per)
+	if err != nil {
+		return batch
+	}
+	return flat
+}
+
+func runFullyConnected(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	flat := flatten(batchFrom(in))
+	weights := deterministicFilters(1, 1, flat.Dim(1), proxyDenseWidth)
+	w, err := weights.Reshape(flat.Dim(1), proxyDenseWidth)
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	out, err := FullyConnected(ex, nil, flat, w, nil)
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runElementwiseMultiply(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	batch := batchFrom(in)
+	out, err := ElementwiseMultiply(ex, nil, batch, batch)
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runReLU(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	return wrap(Activate(ex, nil, batchFrom(in), ReLU))
+}
+
+func runSigmoid(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	return wrap(Activate(ex, nil, batchFrom(in), Sigmoid))
+}
+
+func runTanh(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	return wrap(Activate(ex, nil, batchFrom(in), Tanh))
+}
+
+func runSoftmax(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out, err := Softmax(ex, nil, flatten(batchFrom(in)))
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runBatchNorm(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out, err := BatchNorm(ex, nil, batchFrom(in))
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runCosineNorm(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out, err := CosineNorm(ex, nil, flatten(batchFrom(in)))
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runDropout(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out, err := Dropout(ex, nil, batchFrom(in), proxyDropoutRate, 42)
+	if err != nil {
+		return &motif.Dataset{}
+	}
+	return wrap(out)
+}
+
+func runReduceSum(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out := ReduceSum(ex, nil, batchFrom(in))
+	return &motif.Dataset{Floats: []float64{float64(out.At())}}
+}
+
+func runReduceMax(ex *sim.Exec, in *motif.Dataset) *motif.Dataset {
+	out := ReduceMax(ex, nil, batchFrom(in))
+	return &motif.Dataset{Floats: []float64{float64(out.At())}}
+}
+
+// ImagesToTensor packs datagen-style flat CHW images into an NCHW batch
+// tensor; it is the bridge between the data generators and the AI motifs.
+func ImagesToTensor(images [][]float32, channels, height, width int) *tensor.Tensor {
+	t := tensor.New(len(images), channels, height, width)
+	per := channels * height * width
+	d := t.Data()
+	for i, img := range images {
+		copy(d[i*per:(i+1)*per], img)
+	}
+	return t
+}

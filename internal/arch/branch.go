@@ -1,0 +1,105 @@
+package arch
+
+// BranchPredictorConfig describes a gshare-style branch predictor.
+type BranchPredictorConfig struct {
+	// HistoryBits is the number of global-history bits; the pattern table
+	// has 2^HistoryBits two-bit saturating counters.
+	HistoryBits int
+	// MissPenaltyCycles is the pipeline flush penalty on a mispredict.
+	MissPenaltyCycles int
+}
+
+// BranchPredictor is a gshare predictor with two-bit saturating counters.
+// It is driven with the actual branch outcomes produced by the workload so
+// workloads with irregular control flow (hash probing, tree descent)
+// naturally show worse prediction than streaming loops.
+type BranchPredictor struct {
+	cfg      BranchPredictorConfig
+	history  uint64
+	mask     uint64
+	counters []uint8
+	lookups  uint64
+	misses   uint64
+}
+
+// NewBranchPredictor builds a predictor from its configuration.
+func NewBranchPredictor(cfg BranchPredictorConfig) *BranchPredictor {
+	if cfg.HistoryBits <= 0 {
+		cfg.HistoryBits = 12
+	}
+	if cfg.HistoryBits > 24 {
+		cfg.HistoryBits = 24
+	}
+	size := 1 << cfg.HistoryBits
+	bp := &BranchPredictor{
+		cfg:      cfg,
+		mask:     uint64(size - 1),
+		counters: make([]uint8, size),
+	}
+	// Initialise to weakly taken: loops predict well immediately.
+	for i := range bp.counters {
+		bp.counters[i] = 2
+	}
+	return bp
+}
+
+// Config returns the predictor configuration.
+func (b *BranchPredictor) Config() BranchPredictorConfig { return b.cfg }
+
+// Record consumes one branch with program-counter proxy pc and its actual
+// outcome, updates the predictor state, and reports whether the prediction
+// was correct.
+func (b *BranchPredictor) Record(pc uint64, taken bool) bool {
+	idx := (pc ^ b.history) & b.mask
+	ctr := b.counters[idx]
+	predictTaken := ctr >= 2
+	correct := predictTaken == taken
+
+	if taken {
+		if ctr < 3 {
+			b.counters[idx] = ctr + 1
+		}
+	} else {
+		if ctr > 0 {
+			b.counters[idx] = ctr - 1
+		}
+	}
+	b.history = ((b.history << 1) | boolBit(taken)) & b.mask
+
+	b.lookups++
+	if !correct {
+		b.misses++
+	}
+	return correct
+}
+
+func boolBit(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Lookups returns the number of recorded branches.
+func (b *BranchPredictor) Lookups() uint64 { return b.lookups }
+
+// Misses returns the number of mispredicted branches.
+func (b *BranchPredictor) Misses() uint64 { return b.misses }
+
+// MissRatio returns misses / lookups (0 when no branches were recorded).
+func (b *BranchPredictor) MissRatio() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.misses) / float64(b.lookups)
+}
+
+// Reset clears the predictor state and statistics.
+func (b *BranchPredictor) Reset() {
+	for i := range b.counters {
+		b.counters[i] = 2
+	}
+	b.history = 0
+	b.lookups = 0
+	b.misses = 0
+}

@@ -1,0 +1,101 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	bp := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 10, MissPenaltyCycles: 15})
+	// A loop branch taken 1000 times at the same pc should be predicted
+	// almost perfectly.
+	for i := 0; i < 1000; i++ {
+		bp.Record(0x400, true)
+	}
+	if bp.MissRatio() > 0.01 {
+		t.Fatalf("loop branch miss ratio %g too high", bp.MissRatio())
+	}
+}
+
+func TestBranchPredictorRandomIsWorseThanBiased(t *testing.T) {
+	// Deterministic pseudo-random outcomes.
+	rng := uint64(12345)
+	next := func() bool {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng>>63 == 1
+	}
+	random := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 10})
+	biased := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 10})
+	for i := 0; i < 20000; i++ {
+		random.Record(uint64(i%16)<<4, next())
+		biased.Record(uint64(i%16)<<4, i%10 != 0) // 90% taken
+	}
+	if random.MissRatio() <= biased.MissRatio() {
+		t.Fatalf("random branches (%g) should mispredict more than biased ones (%g)",
+			random.MissRatio(), biased.MissRatio())
+	}
+	if random.MissRatio() < 0.3 {
+		t.Fatalf("random branches should mispredict frequently, got %g", random.MissRatio())
+	}
+}
+
+func TestBranchPredictorDefaults(t *testing.T) {
+	bp := NewBranchPredictor(BranchPredictorConfig{})
+	if bp.Config().HistoryBits != 12 {
+		t.Fatalf("default history bits = %d, want 12", bp.Config().HistoryBits)
+	}
+	huge := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 40})
+	if huge.Config().HistoryBits != 24 {
+		t.Fatalf("history bits should be capped at 24, got %d", huge.Config().HistoryBits)
+	}
+}
+
+func TestBranchPredictorReset(t *testing.T) {
+	bp := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 8})
+	for i := 0; i < 100; i++ {
+		bp.Record(uint64(i), i%2 == 0)
+	}
+	if bp.Lookups() != 100 {
+		t.Fatalf("Lookups = %d", bp.Lookups())
+	}
+	bp.Reset()
+	if bp.Lookups() != 0 || bp.Misses() != 0 || bp.MissRatio() != 0 {
+		t.Fatal("Reset should clear statistics")
+	}
+}
+
+// Property: misses never exceed lookups and the miss ratio is in [0,1].
+func TestBranchPredictorAccountingProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		bp := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 8})
+		for i, taken := range outcomes {
+			bp.Record(uint64(i*13), taken)
+		}
+		if bp.Lookups() != uint64(len(outcomes)) {
+			return false
+		}
+		if bp.Misses() > bp.Lookups() {
+			return false
+		}
+		r := bp.MissRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an always-taken branch stream converges to near-zero
+// misprediction regardless of the pc used.
+func TestBranchPredictorAlwaysTakenProperty(t *testing.T) {
+	f := func(pc uint16) bool {
+		bp := NewBranchPredictor(BranchPredictorConfig{HistoryBits: 8})
+		for i := 0; i < 500; i++ {
+			bp.Record(uint64(pc), true)
+		}
+		return bp.MissRatio() < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

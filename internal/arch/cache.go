@@ -1,0 +1,219 @@
+// Package arch models the micro-architectural components that determine the
+// performance behaviour the paper measures with hardware counters: a
+// set-associative cache hierarchy, a branch predictor, and machine profiles
+// describing the Westmere (Xeon E5645) and Haswell (Xeon E5-2620 v3)
+// processors used in the paper's evaluation, plus memory, disk and network
+// bandwidth parameters.
+//
+// The models are deliberately light-weight (they are driven with sampled
+// event streams by package sim) but faithful enough that relative behaviour
+// — which workload is cache friendly, how much a bigger last-level cache or
+// a wider issue width helps — emerges from the model rather than being
+// hard-coded.
+package arch
+
+import "fmt"
+
+// CacheConfig describes one level of a set-associative cache.
+type CacheConfig struct {
+	Name          string // e.g. "L1D"
+	SizeBytes     int    // total capacity
+	LineBytes     int    // cache line size
+	Associativity int    // ways per set
+	LatencyCycles int    // access (hit) latency in cycles
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int {
+	if c.LineBytes <= 0 || c.Associativity <= 0 {
+		return 0
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Associativity)
+	if sets < 1 {
+		sets = 1
+	}
+	return sets
+}
+
+// Validate reports configuration errors such as non-power-of-two line sizes
+// or zero capacity.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("arch: cache %s has non-positive size %d", c.Name, c.SizeBytes)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("arch: cache %s line size %d must be a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.Associativity <= 0 {
+		return fmt.Errorf("arch: cache %s associativity %d must be positive", c.Name, c.Associativity)
+	}
+	if c.SizeBytes < c.LineBytes*c.Associativity {
+		return fmt.Errorf("arch: cache %s size %d smaller than one set", c.Name, c.SizeBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with LRU replacement.  It tracks hits and
+// misses; on a miss the access is forwarded to the next level (if any).
+// Cache is not safe for concurrent use; package sim serialises access.
+type Cache struct {
+	cfg      CacheConfig
+	next     *Cache // next level, nil for last level before memory
+	sets     [][]cacheLine
+	hits     uint64
+	misses   uint64
+	lineMask uint64
+	setMask  uint64
+	lineBits uint
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // larger = more recently used
+	dirty bool
+}
+
+// NewCache builds a cache from its configuration.  next may be nil for the
+// last level.
+func NewCache(cfg CacheConfig, next *Cache) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:  cfg,
+		next: next,
+		sets: make([][]cacheLine, sets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Associativity)
+	}
+	c.lineBits = uint(bitsFor(cfg.LineBytes))
+	c.lineMask = uint64(cfg.LineBytes - 1)
+	c.setMask = uint64(sets - 1)
+	return c
+}
+
+func bitsFor(v int) int {
+	b := 0
+	for (1 << b) < v {
+		b++
+	}
+	return b
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Hits returns the number of hits recorded so far.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses recorded so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Accesses returns hits + misses.
+func (c *Cache) Accesses() uint64 { return c.hits + c.misses }
+
+// HitRatio returns the hit ratio observed so far (1 when untouched).
+func (c *Cache) HitRatio() float64 {
+	total := c.Accesses()
+	if total == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// AccessResult describes the outcome of a cache access as it propagated
+// through the hierarchy.
+type AccessResult struct {
+	// HitLevel is 1-based index of the level that hit (1 = this cache);
+	// 0 means the access missed every level and went to memory.
+	HitLevel int
+	// Latency is the total modelled latency in cycles, excluding memory.
+	Latency int
+	// MemoryBytes is the number of bytes transferred from/to memory
+	// (one line per last-level miss).
+	MemoryBytes int
+}
+
+// Access simulates an access to addr.  write marks stores (used for
+// write-allocate accounting).  The access is forwarded down the hierarchy on
+// a miss and the aggregated result is returned.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	return c.accessLevel(addr, write, 1)
+}
+
+func (c *Cache) accessLevel(addr uint64, write bool, level int) AccessResult {
+	set := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	lines := c.sets[set]
+
+	// Search for a hit.
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.hits++
+			lines[i].lru = c.hits + c.misses
+			if write {
+				lines[i].dirty = true
+			}
+			return AccessResult{HitLevel: level, Latency: c.cfg.LatencyCycles}
+		}
+	}
+
+	// Miss: choose LRU victim and refill.
+	c.misses++
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	lines[victim] = cacheLine{tag: tag, valid: true, lru: c.hits + c.misses, dirty: write}
+
+	res := AccessResult{HitLevel: 0, Latency: c.cfg.LatencyCycles}
+	if c.next != nil {
+		down := c.next.accessLevel(addr, write, level+1)
+		res.HitLevel = down.HitLevel
+		res.Latency += down.Latency
+		res.MemoryBytes = down.MemoryBytes
+	} else {
+		// Last level miss: a full line is fetched from memory.
+		res.MemoryBytes = c.cfg.LineBytes
+	}
+	return res
+}
+
+// Hierarchy bundles the per-core caches plus the shared last level cache of
+// one core's view of the memory system.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	L3  *Cache // shared; may be shared between Hierarchy values
+}
+
+// NewHierarchy builds a per-core hierarchy sharing the provided L3.
+func NewHierarchy(p Profile, sharedL3 *Cache) Hierarchy {
+	l2 := NewCache(p.L2, sharedL3)
+	return Hierarchy{
+		L1I: NewCache(p.L1I, l2),
+		L1D: NewCache(p.L1D, l2),
+		L2:  l2,
+		L3:  sharedL3,
+	}
+}

@@ -1,0 +1,85 @@
+package arch
+
+import "fmt"
+
+// Machine assembles the micro-architectural models of one node: per-core
+// cache hierarchies and branch predictors plus the shared last-level cache
+// per socket.  The simulation engine drives one Core per concurrently
+// executing task slot.
+type Machine struct {
+	profile Profile
+	cores   []*Core
+	l3s     []*Cache // one shared L3 per socket
+}
+
+// Core is one hardware core's view of the machine: private L1/L2, a share of
+// the socket's L3 and a private branch predictor.
+type Core struct {
+	ID     int
+	Caches Hierarchy
+	Branch *BranchPredictor
+}
+
+// NewMachine builds a machine for the given profile.
+func NewMachine(p Profile) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{profile: p}
+	m.l3s = make([]*Cache, p.Sockets)
+	for s := 0; s < p.Sockets; s++ {
+		m.l3s[s] = NewCache(p.L3, nil)
+	}
+	total := p.TotalCores()
+	m.cores = make([]*Core, total)
+	for i := 0; i < total; i++ {
+		socket := i / p.CoresPerSocket
+		m.cores[i] = &Core{
+			ID:     i,
+			Caches: NewHierarchy(p, m.l3s[socket]),
+			Branch: NewBranchPredictor(p.Branch),
+		}
+	}
+	return m, nil
+}
+
+// MustNewMachine is like NewMachine but panics on error.  It is intended for
+// stock profiles that are known to be valid.
+func MustNewMachine(p Profile) *Machine {
+	m, err := NewMachine(p)
+	if err != nil {
+		panic(fmt.Sprintf("arch: %v", err))
+	}
+	return m
+}
+
+// Profile returns the machine's profile.
+func (m *Machine) Profile() Profile { return m.profile }
+
+// NumCores returns the number of cores.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i modulo the core count, so callers can map an arbitrary
+// task index onto a core.
+func (m *Machine) Core(i int) *Core {
+	if len(m.cores) == 0 {
+		return nil
+	}
+	if i < 0 {
+		i = -i
+	}
+	return m.cores[i%len(m.cores)]
+}
+
+// Reset clears all cache and predictor state and statistics.
+func (m *Machine) Reset() {
+	for _, l3 := range m.l3s {
+		l3.Reset()
+	}
+	for _, c := range m.cores {
+		c.Caches.L1I.Reset()
+		c.Caches.L1D.Reset()
+		c.Caches.L2.Reset()
+		c.Branch.Reset()
+	}
+}

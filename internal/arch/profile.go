@@ -1,0 +1,133 @@
+package arch
+
+import "fmt"
+
+// Profile describes one processor generation plus the per-node memory, disk
+// and network characteristics needed by the simulation engine.  The two
+// stock profiles correspond to the machines used in the paper's evaluation:
+// Westmere (Xeon E5645, Table IV) for the main experiments and Haswell
+// (Xeon E5-2620 v3) for the cross-architecture case study (Section IV-C).
+type Profile struct {
+	Name string
+
+	// Core configuration.
+	FrequencyHz     float64 // core clock
+	CoresPerSocket  int
+	Sockets         int
+	IssueWidth      int     // instructions issued per cycle, best case
+	FloatCostFactor float64 // relative cost of a floating point op vs integer
+
+	// Cache hierarchy (per core L1/L2, shared L3 per socket).
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+
+	// Branch prediction.
+	Branch BranchPredictorConfig
+
+	// Memory system.
+	MemLatencyCycles    int     // DRAM access latency seen by a last-level miss
+	MemBandwidthBytesPS float64 // per-node sustainable memory bandwidth
+
+	// Disk subsystem (per node).
+	DiskBandwidthBytesPS float64
+	DiskSeekSeconds      float64
+
+	// Network interconnect (per node NIC).
+	NetBandwidthBytesPS float64
+	NetLatencySeconds   float64
+}
+
+// TotalCores returns the number of physical cores per node.
+func (p Profile) TotalCores() int { return p.CoresPerSocket * p.Sockets }
+
+// Validate reports obviously inconsistent profile parameters.
+func (p Profile) Validate() error {
+	if p.FrequencyHz <= 0 {
+		return fmt.Errorf("arch: profile %s has non-positive frequency", p.Name)
+	}
+	if p.TotalCores() <= 0 {
+		return fmt.Errorf("arch: profile %s has no cores", p.Name)
+	}
+	if p.IssueWidth <= 0 {
+		return fmt.Errorf("arch: profile %s has non-positive issue width", p.Name)
+	}
+	for _, c := range []CacheConfig{p.L1I, p.L1D, p.L2, p.L3} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.MemBandwidthBytesPS <= 0 || p.DiskBandwidthBytesPS <= 0 || p.NetBandwidthBytesPS <= 0 {
+		return fmt.Errorf("arch: profile %s has non-positive bandwidth", p.Name)
+	}
+	return nil
+}
+
+const (
+	kib = 1024
+	mib = 1024 * kib
+	gib = 1024 * mib
+)
+
+// Westmere returns the profile of the Intel Xeon E5645 (Westmere-EP) node
+// used for the paper's main evaluation (Table IV): 2 sockets x 6 cores at
+// 2.40 GHz, 32 KB L1I/L1D and 256 KB L2 per core, 12 MB shared L3, 1 Gb
+// Ethernet, spinning disks.
+func Westmere() Profile {
+	return Profile{
+		Name:                 "Xeon E5645 (Westmere)",
+		FrequencyHz:          2.40e9,
+		CoresPerSocket:       6,
+		Sockets:              2,
+		IssueWidth:           4,
+		FloatCostFactor:      2.0,
+		L1I:                  CacheConfig{Name: "L1I", SizeBytes: 32 * kib, LineBytes: 64, Associativity: 4, LatencyCycles: 4},
+		L1D:                  CacheConfig{Name: "L1D", SizeBytes: 32 * kib, LineBytes: 64, Associativity: 8, LatencyCycles: 4},
+		L2:                   CacheConfig{Name: "L2", SizeBytes: 256 * kib, LineBytes: 64, Associativity: 8, LatencyCycles: 10},
+		L3:                   CacheConfig{Name: "L3", SizeBytes: 12 * mib, LineBytes: 64, Associativity: 16, LatencyCycles: 40},
+		Branch:               BranchPredictorConfig{HistoryBits: 12, MissPenaltyCycles: 17},
+		MemLatencyCycles:     220,
+		MemBandwidthBytesPS:  25 * float64(gib), // DDR3 triple channel
+		DiskBandwidthBytesPS: 140 * float64(mib),
+		DiskSeekSeconds:      0.004,
+		NetBandwidthBytesPS:  125 * float64(mib), // 1 Gb Ethernet
+		NetLatencySeconds:    0.0002,
+	}
+}
+
+// Haswell returns the profile of the Intel Xeon E5-2620 v3 (Haswell-EP) node
+// used in the cross-architecture case study (Section IV-C): 6 cores per
+// socket at 2.40 GHz, larger shared L3 (15 MB), wider execution resources,
+// DDR4 memory and improved branch prediction, which is where the 1.1x-1.8x
+// speedups in Figure 10 come from.
+func Haswell() Profile {
+	return Profile{
+		Name:                 "Xeon E5-2620 v3 (Haswell)",
+		FrequencyHz:          2.40e9,
+		CoresPerSocket:       6,
+		Sockets:              2,
+		IssueWidth:           6,
+		FloatCostFactor:      1.25, // FMA + wider vector units
+		L1I:                  CacheConfig{Name: "L1I", SizeBytes: 32 * kib, LineBytes: 64, Associativity: 8, LatencyCycles: 4},
+		L1D:                  CacheConfig{Name: "L1D", SizeBytes: 32 * kib, LineBytes: 64, Associativity: 8, LatencyCycles: 4},
+		L2:                   CacheConfig{Name: "L2", SizeBytes: 256 * kib, LineBytes: 64, Associativity: 8, LatencyCycles: 11},
+		L3:                   CacheConfig{Name: "L3", SizeBytes: 15 * mib, LineBytes: 64, Associativity: 20, LatencyCycles: 34},
+		Branch:               BranchPredictorConfig{HistoryBits: 14, MissPenaltyCycles: 15},
+		MemLatencyCycles:     190,
+		MemBandwidthBytesPS:  50 * float64(gib), // DDR4 quad channel
+		DiskBandwidthBytesPS: 180 * float64(mib),
+		DiskSeekSeconds:      0.004,
+		NetBandwidthBytesPS:  125 * float64(mib),
+		NetLatencySeconds:    0.0002,
+	}
+}
+
+// Profiles returns all stock profiles keyed by a short identifier, for use
+// by command-line tools.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		"westmere": Westmere(),
+		"haswell":  Haswell(),
+	}
+}

@@ -1,0 +1,168 @@
+// Package core implements the paper's primary contribution: the data
+// motif-based proxy benchmark.  A proxy benchmark is a DAG-like combination
+// of data motif implementations — nodes are original or intermediate data
+// sets, edges are motifs with weights — whose tunable parameters (Table I)
+// are adjusted by the auto-tuner until the proxy's system and
+// micro-architectural behaviour matches the real workload it mimics.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params is the tunable parameter vector P of Table I.  The first four
+// parameters apply to big data motifs, the remaining ones to AI data motifs;
+// a zero value means "not applicable" for the motif at hand, exactly as the
+// paper sets unrelated elements of P to zero.
+type Params struct {
+	// DataSize is the input data size processed by the proxy benchmark, in
+	// bytes.
+	DataSize uint64
+	// ChunkSize is the data block size processed by each thread, in bytes.
+	ChunkSize uint64
+	// NumTasks is the process/thread count per motif.
+	NumTasks int
+	// Weight is the default contribution of a motif when an edge does not
+	// specify its own.
+	Weight float64
+
+	// BatchSize is the per-iteration batch size for AI data motifs.
+	BatchSize int
+	// TotalSize is the total number of input samples for AI data motifs.
+	TotalSize uint64
+	// HeightSize, WidthSize and NumChannels describe one AI input or filter.
+	HeightSize  int
+	WidthSize   int
+	NumChannels int
+}
+
+// ParameterNames lists the tunable parameter names of Table I in canonical
+// order; Setting keys must come from this list.
+var ParameterNames = []string{
+	"dataSize",
+	"chunkSize",
+	"numTasks",
+	"weight",
+	"batchSize",
+	"totalSize",
+	"heightSize",
+	"widthSize",
+	"numChannels",
+}
+
+// Setting is a concrete assignment of the tunable parameters expressed as
+// multiplicative factors over a benchmark's base parameters (1.0 leaves the
+// base value unchanged).  The auto-tuner searches over Settings.
+type Setting map[string]float64
+
+// DefaultSetting returns the identity setting (all factors 1.0).
+func DefaultSetting() Setting {
+	s := make(Setting, len(ParameterNames))
+	for _, n := range ParameterNames {
+		s[n] = 1
+	}
+	return s
+}
+
+// Clone returns a deep copy of the setting.
+func (s Setting) Clone() Setting {
+	c := make(Setting, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the factor for a parameter, defaulting to 1.
+func (s Setting) Get(name string) float64 {
+	if v, ok := s[name]; ok && v > 0 {
+		return v
+	}
+	return 1
+}
+
+// Validate rejects unknown parameter names and non-positive factors.
+func (s Setting) Validate() error {
+	valid := make(map[string]bool, len(ParameterNames))
+	for _, n := range ParameterNames {
+		valid[n] = true
+	}
+	for k, v := range s {
+		if !valid[k] {
+			return fmt.Errorf("core: unknown tunable parameter %q", k)
+		}
+		if v <= 0 {
+			return fmt.Errorf("core: parameter %q has non-positive factor %g", k, v)
+		}
+	}
+	return nil
+}
+
+// String renders the setting deterministically (sorted by name).
+func (s Setting) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.3f", k, s[k])
+	}
+	return out
+}
+
+// Apply produces the effective parameters under a setting.
+func (p Params) Apply(s Setting) Params {
+	out := p
+	out.DataSize = scaleU64(p.DataSize, s.Get("dataSize"))
+	out.ChunkSize = scaleU64(p.ChunkSize, s.Get("chunkSize"))
+	out.NumTasks = scaleInt(p.NumTasks, s.Get("numTasks"))
+	out.Weight = p.Weight * s.Get("weight")
+	out.BatchSize = scaleInt(p.BatchSize, s.Get("batchSize"))
+	out.TotalSize = scaleU64(p.TotalSize, s.Get("totalSize"))
+	out.HeightSize = scaleInt(p.HeightSize, s.Get("heightSize"))
+	out.WidthSize = scaleInt(p.WidthSize, s.Get("widthSize"))
+	out.NumChannels = scaleInt(p.NumChannels, s.Get("numChannels"))
+	return out
+}
+
+func scaleU64(v uint64, f float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	out := uint64(float64(v) * f)
+	if out == 0 {
+		out = 1
+	}
+	return out
+}
+
+func scaleInt(v int, f float64) int {
+	if v == 0 {
+		return 0
+	}
+	out := int(float64(v) * f)
+	if out == 0 {
+		out = 1
+	}
+	return out
+}
+
+// Validate rejects obviously broken base parameters.
+func (p Params) Validate() error {
+	if p.DataSize == 0 && p.TotalSize == 0 {
+		return fmt.Errorf("core: parameters define neither dataSize nor totalSize")
+	}
+	if p.NumTasks < 0 || p.BatchSize < 0 {
+		return fmt.Errorf("core: negative task or batch count")
+	}
+	if p.Weight < 0 {
+		return fmt.Errorf("core: negative weight")
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"dataproxy/internal/motif"
+	"dataproxy/internal/sim"
+)
+
+// proxyCodeFootprintBytes is the light-weight (POSIX-threads style) stack's
+// instruction working set, orders of magnitude smaller than the JVM/Hadoop
+// or TensorFlow stacks of the real workloads.
+const proxyCodeFootprintBytes = 96 * 1024
+
+const proxyJumpsPer1k = 70
+
+// Run executes the proxy benchmark on the cluster's first worker node (the
+// paper runs each proxy benchmark on a single slave node) under the given
+// tuning setting, and returns the cluster's report.
+//
+// The cluster is reset first so repeated Run calls (as the auto-tuner
+// performs) are independent.
+func Run(cluster *sim.Cluster, b *Benchmark, setting Setting) (sim.Report, error) {
+	if err := b.Validate(); err != nil {
+		return sim.Report{}, err
+	}
+	if setting == nil {
+		setting = DefaultSetting()
+	}
+	if err := setting.Validate(); err != nil {
+		return sim.Report{}, err
+	}
+	cluster.Reset()
+
+	p := b.Base.Apply(setting)
+	sampleBytes := b.SampleBytes
+	if sampleBytes == 0 {
+		sampleBytes = 4 << 20
+	}
+	if p.DataSize > 0 && sampleBytes > p.DataSize {
+		sampleBytes = p.DataSize
+	}
+
+	// The proxy benchmark is pinned to one node.
+	node := 0
+	if workers := cluster.Workers(); len(workers) > 0 {
+		node = workers[0].ID()
+	}
+
+	datasets := map[string]*motif.Dataset{}
+	edges, err := b.sortedEdges()
+	if err != nil {
+		return sim.Report{}, err
+	}
+
+	// Generate the sampled input data set (with the original workload's data
+	// type and distribution) as a lightly-accounted stage of its own: the
+	// proxy reads its configured input volume from local storage, so the
+	// sampled read is extrapolated to DataSize bytes.
+	var input *motif.Dataset
+	inputScale := 1.0
+	// Big data proxies stream their whole configured input volume from disk;
+	// AI proxies only read the sampled batch (the paper measures near-zero
+	// disk traffic for the AI workloads).
+	if b.SpillIntermediate && p.DataSize > 0 && sampleBytes > 0 {
+		inputScale = float64(p.DataSize) / float64(sampleBytes)
+	}
+	cluster.RunOnNode(b.Name+":input", node, inputScale, func(ex *sim.Exec) {
+		ex.SetCodeFootprint(b.codeFootprint(), proxyJumpsPer1k)
+		input = b.Input(7, sampleBytes, p)
+		if input == nil {
+			input = &motif.Dataset{}
+		}
+		ex.ReadDisk(input.SizeBytes())
+	})
+	datasets[InputNode] = input
+
+	for _, e := range edges {
+		in := datasets[e.From]
+		if in == nil {
+			return sim.Report{}, fmt.Errorf("core: benchmark %s edge %s consumes missing data set %q", b.Name, e.Name, e.From)
+		}
+		out, err := b.runEdge(cluster, node, e, in, p, setting)
+		if err != nil {
+			return sim.Report{}, err
+		}
+		datasets[e.To] = out
+	}
+	return cluster.Report(b.Name), nil
+}
+
+func (b *Benchmark) codeFootprint() uint64 {
+	if b.CodeFootprintBytes > 0 {
+		return b.CodeFootprintBytes
+	}
+	return proxyCodeFootprintBytes
+}
+
+// runEdge executes one motif edge: the input sample is split into chunks of
+// at most ChunkSize bytes, distributed over NumTasks worker tasks, and the
+// motif's counters are extrapolated so the edge represents
+// DataSize * Weight bytes of processed data.
+func (b *Benchmark) runEdge(cluster *sim.Cluster, node int, e Edge, in *motif.Dataset, p Params, setting Setting) (*motif.Dataset, error) {
+	impl, err := motif.Lookup(e.Impl)
+	if err != nil {
+		return nil, err
+	}
+	numTasks := p.NumTasks
+	if numTasks < 1 {
+		numTasks = 1
+	}
+	inBytes := in.SizeBytes()
+	if inBytes == 0 {
+		inBytes = 1
+	}
+	// Work volume this edge stands for.
+	work := float64(p.DataSize) * e.Weight * setting.Get("weight")
+	if p.DataSize == 0 {
+		work = float64(p.TotalSize) * e.Weight * setting.Get("weight")
+	}
+	if work <= 0 {
+		work = float64(inBytes)
+	}
+	scale := work / float64(inBytes)
+	if scale < 1 {
+		scale = 1
+	}
+
+	// Split the sample across tasks, honouring the chunk size.
+	shares := splitDataset(in, numTasks)
+	outputs := make([]*motif.Dataset, len(shares))
+	tasks := make([]sim.Task, len(shares))
+	stageName := b.Name + ":" + e.name()
+	for i := range shares {
+		i := i
+		share := shares[i]
+		taskScale := scale
+		if len(shares) == 1 && numTasks > 1 {
+			// Unsplittable data set: every task would process the whole
+			// sample, so spread the represented work across them instead.
+			taskScale = scale / float64(numTasks)
+		}
+		tasks[i] = sim.Task{Node: node, Scale: taskScale, Fn: func(ex *sim.Exec) {
+			ex.SetCodeFootprint(b.codeFootprint(), proxyJumpsPer1k)
+			outputs[i] = runChunked(ex, impl, share, p.ChunkSize)
+			if b.SpillIntermediate && outputs[i] != nil {
+				ex.WriteDisk(outputs[i].SizeBytes())
+			}
+		}}
+	}
+	cluster.RunStage(stageName, tasks, numTasks)
+
+	merged := mergeDatasets(outputs)
+	return merged, nil
+}
+
+func (e Edge) name() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return e.Impl
+}
+
+// runChunked runs the motif over the task's share in chunk-size pieces (the
+// chunkSize parameter of Table I controls each thread's working-set size).
+func runChunked(ex *sim.Exec, impl motif.Impl, share *motif.Dataset, chunkSize uint64) *motif.Dataset {
+	if chunkSize == 0 || share.SizeBytes() <= chunkSize {
+		return impl.Run(ex, share)
+	}
+	pieces := int((share.SizeBytes() + chunkSize - 1) / chunkSize)
+	chunks := splitDataset(share, pieces)
+	outs := make([]*motif.Dataset, 0, len(chunks))
+	for _, ch := range chunks {
+		outs = append(outs, impl.Run(ex, ch))
+	}
+	return mergeDatasets(outs)
+}
+
+// splitDataset divides a data set into up to n roughly equal parts along its
+// dominant collection.  Data sets that cannot be split (graphs, matrices)
+// are returned as a single share.
+func splitDataset(in *motif.Dataset, n int) []*motif.Dataset {
+	if n <= 1 {
+		return []*motif.Dataset{in}
+	}
+	switch {
+	case len(in.Records) >= n:
+		return splitBy(n, len(in.Records), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Records: in.Records[lo:hi]}
+		})
+	case len(in.Vectors) >= n:
+		return splitBy(n, len(in.Vectors), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Vectors: in.Vectors[lo:hi]}
+		})
+	case len(in.Keys) >= n:
+		return splitBy(n, len(in.Keys), func(lo, hi int) *motif.Dataset {
+			d := &motif.Dataset{Keys: in.Keys[lo:hi]}
+			if len(in.Values) == len(in.Keys) {
+				d.Values = in.Values[lo:hi]
+			}
+			return d
+		})
+	case len(in.Words) >= n:
+		return splitBy(n, len(in.Words), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Words: in.Words[lo:hi]}
+		})
+	case len(in.Floats) >= n:
+		return splitBy(n, len(in.Floats), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Floats: in.Floats[lo:hi]}
+		})
+	case len(in.Bytes) >= n:
+		return splitBy(n, len(in.Bytes), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Bytes: in.Bytes[lo:hi]}
+		})
+	case len(in.Tensors) >= n:
+		return splitBy(n, len(in.Tensors), func(lo, hi int) *motif.Dataset {
+			return &motif.Dataset{Tensors: in.Tensors[lo:hi]}
+		})
+	default:
+		return []*motif.Dataset{in}
+	}
+}
+
+func splitBy(n, length int, slice func(lo, hi int) *motif.Dataset) []*motif.Dataset {
+	out := make([]*motif.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * length / n
+		hi := (i + 1) * length / n
+		if lo >= hi {
+			continue
+		}
+		out = append(out, slice(lo, hi))
+	}
+	return out
+}
+
+// mergeDatasets concatenates the outputs of parallel tasks into one data
+// set.
+func mergeDatasets(parts []*motif.Dataset) *motif.Dataset {
+	out := &motif.Dataset{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Records = append(out.Records, p.Records...)
+		out.Keys = append(out.Keys, p.Keys...)
+		out.Values = append(out.Values, p.Values...)
+		out.Words = append(out.Words, p.Words...)
+		out.Vectors = append(out.Vectors, p.Vectors...)
+		out.Floats = append(out.Floats, p.Floats...)
+		out.Bytes = append(out.Bytes, p.Bytes...)
+		out.Tensors = append(out.Tensors, p.Tensors...)
+		if out.Graph == nil && p.Graph != nil {
+			out.Graph = p.Graph
+		}
+		if out.Matrix == nil && p.Matrix != nil {
+			out.Matrix = p.Matrix
+			out.Rows, out.Cols = p.Rows, p.Cols
+		}
+	}
+	return out
+}

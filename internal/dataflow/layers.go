@@ -1,0 +1,272 @@
+// Package dataflow is the TensorFlow-like substrate the "real" AI workloads
+// of the paper run on: a layer/graph abstraction over the AI data motif
+// operations, executed step-by-step under a parameter-server distribution
+// model across the simulated cluster.  Forward computation is real (on
+// synthetic image batches); the backward pass and parameter-server traffic
+// are modelled, and sampled steps are extrapolated to the configured step
+// count.
+package dataflow
+
+import (
+	"fmt"
+
+	"dataproxy/internal/aimotif"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// Layer is one node of the network graph.
+type Layer interface {
+	// Name identifies the layer.
+	Name() string
+	// Forward runs the layer on the input activation tensor.
+	Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error)
+	// ParamCount returns the number of trainable parameters, which drives
+	// the parameter-server traffic and the update cost.
+	ParamCount() int
+}
+
+// Conv is a convolutional layer.
+type Conv struct {
+	Label   string
+	Filters *tensor.Tensor // (K, C, KH, KW)
+	Stride  int
+	Padding int
+}
+
+// NewConv builds a convolution layer with deterministic filter weights.
+func NewConv(label string, inChannels, outChannels, kernel, stride, padding int) *Conv {
+	f := tensor.New(outChannels, inChannels, kernel, kernel)
+	d := f.Data()
+	for i := range d {
+		d[i] = float32((i%13)-6) * 0.02
+	}
+	return &Conv{Label: label, Filters: f, Stride: stride, Padding: padding}
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.Label }
+
+// ParamCount implements Layer.
+func (c *Conv) ParamCount() int { return c.Filters.Size() }
+
+// Forward implements Layer.
+func (c *Conv) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Conv2D(ex, regs, in, c.Filters, aimotif.ConvConfig{Stride: c.Stride, Padding: c.Padding})
+}
+
+// Pool is a pooling layer.
+type Pool struct {
+	Label  string
+	Kind   aimotif.PoolKind
+	Window int
+	Stride int
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.Label }
+
+// ParamCount implements Layer.
+func (p *Pool) ParamCount() int { return 0 }
+
+// Forward implements Layer.
+func (p *Pool) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	window, stride := p.Window, p.Stride
+	// Clamp the window to the incoming spatial size so deep stacks on small
+	// inputs (CIFAR-scale) remain valid.
+	if in.Rank() == 4 {
+		if h := in.Dim(2); window > h {
+			window = h
+		}
+		if w := in.Dim(3); window > w {
+			window = w
+		}
+	}
+	return aimotif.Pool2D(ex, regs, in, p.Kind, window, stride)
+}
+
+// Dense is a fully connected layer; it flattens its input automatically.
+type Dense struct {
+	Label   string
+	Weights *tensor.Tensor // (In, Out)
+	Bias    *tensor.Tensor // (Out)
+	inDim   int
+	outDim  int
+}
+
+// NewDense builds a fully connected layer with deterministic weights.
+func NewDense(label string, inDim, outDim int) *Dense {
+	w := tensor.New(inDim, outDim)
+	d := w.Data()
+	for i := range d {
+		d[i] = float32((i%17)-8) * 0.01
+	}
+	b := tensor.New(outDim)
+	return &Dense{Label: label, Weights: w, Bias: b, inDim: inDim, outDim: outDim}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.Label }
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.Weights.Size() + d.Bias.Size() }
+
+// Forward implements Layer.
+func (d *Dense) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	flat := in
+	if in.Rank() != 2 {
+		n := in.Dim(0)
+		var err error
+		flat, err = in.Reshape(n, in.Size()/n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if flat.Dim(1) != d.inDim {
+		return nil, fmt.Errorf("dataflow: dense layer %s expects %d inputs, got %d", d.Label, d.inDim, flat.Dim(1))
+	}
+	return aimotif.FullyConnected(ex, regs, flat, d.Weights, d.Bias)
+}
+
+// Activation applies ReLU/sigmoid/tanh element-wise.
+type Activation struct {
+	Label string
+	Act   aimotif.Activation
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.Label }
+
+// ParamCount implements Layer.
+func (a *Activation) ParamCount() int { return 0 }
+
+// Forward implements Layer.
+func (a *Activation) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Activate(ex, regs, in, a.Act), nil
+}
+
+// BatchNorm normalises activations per channel.
+type BatchNorm struct{ Label string }
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return b.Label }
+
+// ParamCount implements Layer.
+func (b *BatchNorm) ParamCount() int { return 0 }
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Rank() != 4 {
+		return aimotif.CosineNorm(ex, regs, in)
+	}
+	return aimotif.BatchNorm(ex, regs, in)
+}
+
+// Dropout randomly zeroes activations.
+type Dropout struct {
+	Label string
+	Rate  float64
+	Seed  int64
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.Label }
+
+// ParamCount implements Layer.
+func (d *Dropout) ParamCount() int { return 0 }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Dropout(ex, regs, in, d.Rate, d.Seed)
+}
+
+// Softmax converts class scores into probabilities.
+type Softmax struct{ Label string }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.Label }
+
+// ParamCount implements Layer.
+func (s *Softmax) ParamCount() int { return 0 }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	flat := in
+	if in.Rank() != 2 {
+		n := in.Dim(0)
+		var err error
+		flat, err = in.Reshape(n, in.Size()/n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aimotif.Softmax(ex, regs, flat)
+}
+
+// Inception is a simplified Inception module: parallel branches whose
+// outputs are concatenated along the channel dimension, the structural
+// signature of Inception-V3.
+type Inception struct {
+	Label    string
+	Branches [][]Layer
+}
+
+// Name implements Layer.
+func (m *Inception) Name() string { return m.Label }
+
+// ParamCount implements Layer.
+func (m *Inception) ParamCount() int {
+	total := 0
+	for _, branch := range m.Branches {
+		for _, l := range branch {
+			total += l.ParamCount()
+		}
+	}
+	return total
+}
+
+// Forward implements Layer: every branch processes the same input; the
+// branch outputs are concatenated along channels (they must agree on N, H,
+// W).
+func (m *Inception) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+	var outs []*tensor.Tensor
+	for _, branch := range m.Branches {
+		cur := in
+		var err error
+		for _, l := range branch {
+			cur, err = l.Forward(ex, regs, cur)
+			if err != nil {
+				return nil, fmt.Errorf("dataflow: %s/%s: %w", m.Label, l.Name(), err)
+			}
+		}
+		outs = append(outs, cur)
+	}
+	return concatChannels(outs)
+}
+
+func concatChannels(ts []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("dataflow: concat of zero tensors")
+	}
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	totalC := 0
+	for _, t := range ts {
+		if t.Rank() != 4 || t.Dim(0) != n || t.Dim(2) != h || t.Dim(3) != w {
+			return nil, fmt.Errorf("dataflow: concat shape mismatch %v vs %v", ts[0].Shape(), t.Shape())
+		}
+		totalC += t.Dim(1)
+	}
+	out := tensor.New(n, totalC, h, w)
+	plane := h * w
+	for b := 0; b < n; b++ {
+		cOff := 0
+		for _, t := range ts {
+			c := t.Dim(1)
+			src := t.Data()[b*c*plane : (b+1)*c*plane]
+			dst := out.Data()[(b*totalC+cOff)*plane : (b*totalC+cOff+c)*plane]
+			copy(dst, src)
+			cOff += c
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,361 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateRecordsDeterministic(t *testing.T) {
+	cfg := TextConfig{Seed: 42, Records: 100}
+	a, err := GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRecords(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between identically seeded runs", i)
+		}
+	}
+	other, _ := GenerateRecords(TextConfig{Seed: 43, Records: 100})
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should generate different records")
+	}
+}
+
+func TestGenerateRecordsValidation(t *testing.T) {
+	if _, err := GenerateRecords(TextConfig{Records: -1}); err == nil {
+		t.Fatal("negative record count should be rejected")
+	}
+	recs, err := GenerateRecords(TextConfig{Records: 0})
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("zero records should succeed, got %v %d", err, len(recs))
+	}
+}
+
+func TestRecordLessOrdersByKey(t *testing.T) {
+	var a, b Record
+	a.Key[0] = 'a'
+	b.Key[0] = 'b'
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less should order by first differing key byte")
+	}
+	if a.Less(a) {
+		t.Fatal("a record is not less than itself")
+	}
+	var c, d Record
+	c.Key[9] = 1
+	d.Key[9] = 2
+	if !c.Less(d) {
+		t.Fatal("Less should consider the full key")
+	}
+}
+
+func TestSkewedKeysChangeDistribution(t *testing.T) {
+	uniform, _ := GenerateRecords(TextConfig{Seed: 1, Records: 5000})
+	skewed, _ := GenerateRecords(TextConfig{Seed: 1, Records: 5000, SkewedKeys: true})
+	countMode := func(recs []Record) int {
+		freq := map[byte]int{}
+		max := 0
+		for _, r := range recs {
+			freq[r.Key[0]]++
+			if freq[r.Key[0]] > max {
+				max = freq[r.Key[0]]
+			}
+		}
+		return max
+	}
+	if countMode(skewed) <= countMode(uniform)*2 {
+		t.Fatal("skewed keys should concentrate mass on a few first bytes")
+	}
+}
+
+func TestRecordByteAccounting(t *testing.T) {
+	if TotalBytes(3) != 300 {
+		t.Fatalf("TotalBytes(3) = %d", TotalBytes(3))
+	}
+	if RecordsForBytes(1000) != 10 {
+		t.Fatalf("RecordsForBytes(1000) = %d", RecordsForBytes(1000))
+	}
+	if RecordSize != 100 {
+		t.Fatalf("gensort record size should be 100 bytes, got %d", RecordSize)
+	}
+}
+
+func TestWordsZipfSkew(t *testing.T) {
+	words := Words(7, 10000, 1000)
+	if len(words) != 10000 {
+		t.Fatalf("len = %d", len(words))
+	}
+	freq := map[string]int{}
+	for _, w := range words {
+		freq[w]++
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf: the most common word should be far above the mean frequency.
+	mean := float64(len(words)) / float64(len(freq))
+	if float64(max) < 3*mean {
+		t.Fatalf("most frequent word count %d not skewed vs mean %g", max, mean)
+	}
+	if Words(1, 0, 10) != nil {
+		t.Fatal("zero words should return nil")
+	}
+}
+
+func TestKeyValues(t *testing.T) {
+	keys, values := KeyValues(3, 1000, 50)
+	if len(keys) != 1000 || len(values) != 1000 {
+		t.Fatal("wrong lengths")
+	}
+	for _, k := range keys {
+		if k < 0 || k >= 50 {
+			t.Fatalf("key %d outside cardinality", k)
+		}
+	}
+	// Cardinality below 1 is clamped.
+	keys, _ = KeyValues(3, 10, 0)
+	for _, k := range keys {
+		if k != 0 {
+			t.Fatal("cardinality 0 should clamp to a single key")
+		}
+	}
+}
+
+func TestGenerateVectorsSparsity(t *testing.T) {
+	sparse, err := GenerateVectors(VectorConfig{Seed: 1, Count: 200, Dim: 100, Sparsity: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := GenerateVectors(VectorConfig{Seed: 1, Count: 200, Dim: 100, Sparsity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MeasureSparsity(sparse)
+	d := MeasureSparsity(dense)
+	if math.Abs(s-0.9) > 0.03 {
+		t.Fatalf("sparse vectors measured sparsity %g, want ~0.9", s)
+	}
+	if d > 0.01 {
+		t.Fatalf("dense vectors measured sparsity %g, want ~0", d)
+	}
+}
+
+func TestVectorConfigValidate(t *testing.T) {
+	if _, err := GenerateVectors(VectorConfig{Count: -1}); err == nil {
+		t.Fatal("negative count should be rejected")
+	}
+	if _, err := GenerateVectors(VectorConfig{Count: 1, Dim: 1, Sparsity: 1.5}); err == nil {
+		t.Fatal("sparsity > 1 should be rejected")
+	}
+	cfg := VectorConfig{Count: 10, Dim: 20}
+	if cfg.Bytes() != 10*20*8 {
+		t.Fatalf("Bytes = %d", cfg.Bytes())
+	}
+}
+
+func TestMeasureSparsityEmpty(t *testing.T) {
+	if MeasureSparsity(nil) != 0 {
+		t.Fatal("empty input should measure 0 sparsity")
+	}
+}
+
+func TestGenerateMatrix(t *testing.T) {
+	m, err := GenerateMatrix(MatrixConfig{Seed: 5, Rows: 30, Cols: 40, Sparsity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1200 {
+		t.Fatalf("len = %d", len(m))
+	}
+	zeros := 0
+	for _, v := range m {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(m))
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Fatalf("matrix sparsity %g, want ~0.5", frac)
+	}
+	if _, err := GenerateMatrix(MatrixConfig{Rows: -1}); err == nil {
+		t.Fatal("negative rows should be rejected")
+	}
+}
+
+func TestGenerateImages(t *testing.T) {
+	cfg := CIFAR10(9, 8)
+	imgs, err := GenerateImages(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 8 {
+		t.Fatalf("count = %d", len(imgs))
+	}
+	if len(imgs[0]) != 3*32*32 {
+		t.Fatalf("pixels per image = %d", len(imgs[0]))
+	}
+	for _, img := range imgs {
+		for _, p := range img {
+			if p < 0 || p >= 1 {
+				t.Fatalf("pixel %g outside [0,1)", p)
+			}
+		}
+	}
+	if cfg.Bytes() != uint64(8*3*32*32*4) {
+		t.Fatalf("Bytes = %d", cfg.Bytes())
+	}
+	inception := ILSVRC2012(1, 2)
+	if inception.Height != 299 || inception.Width != 299 {
+		t.Fatal("ILSVRC2012 config should use 299x299 crops")
+	}
+	if _, err := GenerateImages(ImageConfig{Count: 1}); err == nil {
+		t.Fatal("zero-dimension image config should be rejected")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	labels := Labels(3, 100, 10)
+	if len(labels) != 100 {
+		t.Fatalf("len = %d", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	for _, l := range Labels(1, 5, 0) {
+		if l != 0 {
+			t.Fatal("numClasses 0 should clamp to one class")
+		}
+	}
+}
+
+func TestGeneratePowerLawGraph(t *testing.T) {
+	g, err := GeneratePowerLawGraph(GraphConfig{Seed: 11, Vertices: 2000, AvgDegree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	edges := g.NumEdges()
+	if edges < 2000*4 || edges > 2000*16 {
+		t.Fatalf("edges = %d, want around avg degree 8", edges)
+	}
+	// All edge endpoints must be valid vertices and self-loops avoided.
+	for v, adj := range g.Adj {
+		for _, w := range adj {
+			if int(w) < 0 || int(w) >= 2000 {
+				t.Fatalf("edge target %d out of range", w)
+			}
+			if int(w) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+	// Heavy tail: the maximum in-degree should far exceed the average.
+	in := g.InDegrees()
+	maxIn, sum := 0, 0
+	for _, d := range in {
+		sum += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	avgIn := float64(sum) / float64(len(in))
+	if float64(maxIn) < 5*avgIn {
+		t.Fatalf("max in-degree %d should be much larger than average %g (power law)", maxIn, avgIn)
+	}
+	hist := g.DegreeHistogram(10)
+	if len(hist) != 10 || hist[0] == 0 {
+		t.Fatalf("degree histogram %v looks wrong", hist)
+	}
+}
+
+func TestGraphEdgeCases(t *testing.T) {
+	g, err := GeneratePowerLawGraph(GraphConfig{Vertices: 0, AvgDegree: 4})
+	if err != nil || g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph should generate cleanly")
+	}
+	if g.MaxOutDegree() != 0 {
+		t.Fatal("empty graph max out-degree should be 0")
+	}
+	if g.DegreeHistogram(0) != nil {
+		t.Fatal("zero buckets should return nil histogram")
+	}
+	if _, err := GeneratePowerLawGraph(GraphConfig{Vertices: -1}); err == nil {
+		t.Fatal("negative vertices should be rejected")
+	}
+	if _, err := GeneratePowerLawGraph(GraphConfig{Vertices: 1, AvgDegree: -2}); err == nil {
+		t.Fatal("negative degree should be rejected")
+	}
+	cfg := GraphConfig{Vertices: 100, AvgDegree: 4}
+	if cfg.Bytes() == 0 {
+		t.Fatal("graph byte estimate should be positive")
+	}
+}
+
+// Property: generated vector sparsity tracks the requested sparsity for any
+// value in [0,1].
+func TestVectorSparsityProperty(t *testing.T) {
+	f := func(seed int64, sparsity8 uint8) bool {
+		sparsity := float64(sparsity8) / 255
+		vecs, err := GenerateVectors(VectorConfig{Seed: seed, Count: 50, Dim: 200, Sparsity: sparsity})
+		if err != nil {
+			return false
+		}
+		measured := MeasureSparsity(vecs)
+		return math.Abs(measured-sparsity) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: graph generation is deterministic for a given seed.
+func TestGraphDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := GraphConfig{Seed: seed, Vertices: 300, AvgDegree: 5}
+		a, err1 := GeneratePowerLawGraph(cfg)
+		b, err2 := GeneratePowerLawGraph(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for v := range a.Adj {
+			if len(a.Adj[v]) != len(b.Adj[v]) {
+				return false
+			}
+			for i := range a.Adj[v] {
+				if a.Adj[v][i] != b.Adj[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

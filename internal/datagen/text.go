@@ -1,0 +1,125 @@
+// Package datagen generates the synthetic data sets that drive both the
+// real-workload models and the proxy benchmarks: gensort-style text records
+// (TeraSort), sparse and dense vectors (K-means), power-law graphs
+// (PageRank), matrices, and image tensors (AlexNet / Inception-V3).
+//
+// The paper stresses that data type, pattern and distribution have a large
+// impact on workload behaviour, so every generator exposes those knobs
+// (record size, vector sparsity, graph degree distribution, image
+// dimensions) and is fully deterministic given a seed — the same property
+// the BDGS and gensort tools provide for BigDataBench.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RecordKeySize and RecordPayloadSize follow the gensort record layout used
+// by TeraSort: a 10-byte key followed by a 90-byte payload, 100 bytes per
+// record in total.
+const (
+	RecordKeySize     = 10
+	RecordPayloadSize = 90
+	RecordSize        = RecordKeySize + RecordPayloadSize
+)
+
+// Record is one gensort-style record.
+type Record struct {
+	Key     [RecordKeySize]byte
+	Payload [RecordPayloadSize]byte
+}
+
+// Less orders records by key, byte-wise, as TeraSort does.
+func (r Record) Less(o Record) bool {
+	for i := 0; i < RecordKeySize; i++ {
+		if r.Key[i] != o.Key[i] {
+			return r.Key[i] < o.Key[i]
+		}
+	}
+	return false
+}
+
+// TextConfig describes a gensort-style text data set.
+type TextConfig struct {
+	Seed    int64
+	Records int
+	// SkewedKeys, when true, draws the first key byte from a Zipf-like
+	// distribution instead of uniformly, producing the partitioning skew
+	// real data sets exhibit.
+	SkewedKeys bool
+}
+
+// Validate reports configuration errors.
+func (c TextConfig) Validate() error {
+	if c.Records < 0 {
+		return fmt.Errorf("datagen: negative record count %d", c.Records)
+	}
+	return nil
+}
+
+// GenerateRecords produces cfg.Records gensort-style records.
+func GenerateRecords(cfg TextConfig) ([]Record, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, 255)
+	recs := make([]Record, cfg.Records)
+	for i := range recs {
+		for j := 0; j < RecordKeySize; j++ {
+			recs[i].Key[j] = printableByte(rng.Intn(95))
+		}
+		if cfg.SkewedKeys {
+			recs[i].Key[0] = printableByte(int(zipf.Uint64()) % 95)
+		}
+		for j := 0; j < RecordPayloadSize; j++ {
+			recs[i].Payload[j] = printableByte(rng.Intn(95))
+		}
+	}
+	return recs, nil
+}
+
+func printableByte(v int) byte { return byte(' ' + v%95) }
+
+// TotalBytes returns the byte volume of n gensort records.
+func TotalBytes(n int) uint64 { return uint64(n) * RecordSize }
+
+// RecordsForBytes returns how many gensort records make up the given byte
+// volume (rounded down).
+func RecordsForBytes(bytes uint64) int { return int(bytes / RecordSize) }
+
+// Words generates n words drawn from a Zipf-distributed vocabulary of the
+// given size, mimicking natural-language term frequency for text analytics
+// workloads (e.g. the probability-statistics motif).
+func Words(seed int64, n, vocabulary int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if vocabulary < 1 {
+		vocabulary = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(vocabulary-1))
+	words := make([]string, n)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%06d", zipf.Uint64())
+	}
+	return words
+}
+
+// KeyValues generates n integer key/value pairs with keys drawn from a key
+// space of the given cardinality, used by the set and statistics motifs.
+func KeyValues(seed int64, n, cardinality int) ([]int64, []int64) {
+	if cardinality < 1 {
+		cardinality = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	values := make([]int64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(rng.Intn(cardinality))
+		values[i] = rng.Int63n(1000)
+	}
+	return keys, values
+}

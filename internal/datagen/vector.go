@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VectorConfig describes a vector data set (the K-means input).  Sparsity is
+// the fraction of zero-valued elements: the paper's K-means case study uses
+// 90% sparse vectors as the original input and 0% sparse (dense) vectors for
+// the data-impact experiment (Section IV-A).
+type VectorConfig struct {
+	Seed     int64
+	Count    int
+	Dim      int
+	Sparsity float64
+}
+
+// Validate reports configuration errors.
+func (c VectorConfig) Validate() error {
+	if c.Count < 0 || c.Dim < 0 {
+		return fmt.Errorf("datagen: negative vector count %d or dimension %d", c.Count, c.Dim)
+	}
+	if c.Sparsity < 0 || c.Sparsity > 1 {
+		return fmt.Errorf("datagen: sparsity %g outside [0,1]", c.Sparsity)
+	}
+	return nil
+}
+
+// Bytes returns the in-memory volume of the dense representation.
+func (c VectorConfig) Bytes() uint64 { return uint64(c.Count) * uint64(c.Dim) * 8 }
+
+// GenerateVectors produces Count vectors of dimension Dim where a Sparsity
+// fraction of the elements is exactly zero.
+func GenerateVectors(cfg VectorConfig) ([][]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vectors := make([][]float64, cfg.Count)
+	for i := range vectors {
+		v := make([]float64, cfg.Dim)
+		for j := range v {
+			if rng.Float64() >= cfg.Sparsity {
+				v[j] = rng.NormFloat64()*2 + float64(i%7)
+			}
+		}
+		vectors[i] = v
+	}
+	return vectors, nil
+}
+
+// MeasureSparsity returns the fraction of zero elements across all vectors.
+func MeasureSparsity(vectors [][]float64) float64 {
+	var zeros, total int
+	for _, v := range vectors {
+		for _, x := range v {
+			total++
+			if x == 0 {
+				zeros++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// MatrixConfig describes a dense or sparse matrix data set.
+type MatrixConfig struct {
+	Seed     int64
+	Rows     int
+	Cols     int
+	Sparsity float64
+}
+
+// Validate reports configuration errors.
+func (c MatrixConfig) Validate() error {
+	if c.Rows < 0 || c.Cols < 0 {
+		return fmt.Errorf("datagen: negative matrix dimensions %dx%d", c.Rows, c.Cols)
+	}
+	if c.Sparsity < 0 || c.Sparsity > 1 {
+		return fmt.Errorf("datagen: sparsity %g outside [0,1]", c.Sparsity)
+	}
+	return nil
+}
+
+// GenerateMatrix produces a row-major Rows x Cols matrix.
+func GenerateMatrix(cfg MatrixConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := make([]float64, cfg.Rows*cfg.Cols)
+	for i := range m {
+		if rng.Float64() >= cfg.Sparsity {
+			m[i] = rng.NormFloat64()
+		}
+	}
+	return m, nil
+}
+
+// ImageConfig describes a synthetic image tensor data set in NCHW layout,
+// standing in for CIFAR-10 (32x32x3) and ILSVRC2012 (resized to 299x299x3
+// for Inception-V3, 224x224x3 or 227x227x3 for AlexNet-class networks).
+type ImageConfig struct {
+	Seed     int64
+	Count    int
+	Channels int
+	Height   int
+	Width    int
+}
+
+// CIFAR10 returns the image configuration of the CIFAR-10 data set used by
+// the paper's AlexNet experiments.
+func CIFAR10(seed int64, count int) ImageConfig {
+	return ImageConfig{Seed: seed, Count: count, Channels: 3, Height: 32, Width: 32}
+}
+
+// ILSVRC2012 returns the image configuration of the ImageNet (ILSVRC2012)
+// data set as consumed by Inception-V3 (299x299 RGB crops).
+func ILSVRC2012(seed int64, count int) ImageConfig {
+	return ImageConfig{Seed: seed, Count: count, Channels: 3, Height: 299, Width: 299}
+}
+
+// Validate reports configuration errors.
+func (c ImageConfig) Validate() error {
+	if c.Count < 0 || c.Channels <= 0 || c.Height <= 0 || c.Width <= 0 {
+		return fmt.Errorf("datagen: invalid image config %+v", c)
+	}
+	return nil
+}
+
+// PixelsPerImage returns channels*height*width.
+func (c ImageConfig) PixelsPerImage() int { return c.Channels * c.Height * c.Width }
+
+// Bytes returns the volume of the float32 tensor representation.
+func (c ImageConfig) Bytes() uint64 { return uint64(c.Count) * uint64(c.PixelsPerImage()) * 4 }
+
+// GenerateImages produces Count images as flat float32 slices in CHW order,
+// values normalised to [0,1) with spatially correlated structure (neighbour
+// pixels are similar) so that convolution and pooling see realistic data.
+func GenerateImages(cfg ImageConfig) ([][]float32, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	images := make([][]float32, cfg.Count)
+	for i := range images {
+		img := make([]float32, cfg.PixelsPerImage())
+		for ch := 0; ch < cfg.Channels; ch++ {
+			base := rng.Float32()
+			for y := 0; y < cfg.Height; y++ {
+				rowDrift := 0.1 * (rng.Float32() - 0.5)
+				for x := 0; x < cfg.Width; x++ {
+					idx := ch*cfg.Height*cfg.Width + y*cfg.Width + x
+					v := base + rowDrift + 0.05*(rng.Float32()-0.5)
+					if v < 0 {
+						v = 0
+					}
+					if v >= 1 {
+						v = 0.999
+					}
+					img[idx] = v
+				}
+			}
+		}
+		images[i] = img
+	}
+	return images, nil
+}
+
+// Labels produces one integer class label per image drawn from numClasses.
+func Labels(seed int64, count, numClasses int) []int {
+	if numClasses < 1 {
+		numClasses = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, count)
+	for i := range labels {
+		labels[i] = rng.Intn(numClasses)
+	}
+	return labels
+}

@@ -1,0 +1,197 @@
+// Package dtree implements the CART-style regression decision tree the
+// auto-tuning tool uses (Section II-B.3): it learns how the tunable
+// parameters of a proxy benchmark affect each performance metric from the
+// impact-analysis runs, and the tuner queries it to decide which parameter
+// to adjust when a metric deviates.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one observation: a feature vector (parameter factors) and the
+// observed target (a metric value).
+type Sample struct {
+	Features []float64
+	Target   float64
+}
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds the tree depth (default 6).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of samples per leaf (default 2).
+	MinSamplesLeaf int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 2
+	}
+	return c
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	root     *node
+	features int
+}
+
+type node struct {
+	// Leaf prediction.
+	value float64
+	leaf  bool
+	// Split.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+}
+
+// Fit grows a regression tree on the samples.  All samples must share the
+// same feature dimensionality and at least one sample is required.
+func Fit(samples []Sample, cfg Config) (*Tree, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("dtree: no samples")
+	}
+	dim := len(samples[0].Features)
+	if dim == 0 {
+		return nil, fmt.Errorf("dtree: samples have no features")
+	}
+	for i, s := range samples {
+		if len(s.Features) != dim {
+			return nil, fmt.Errorf("dtree: sample %d has %d features, want %d", i, len(s.Features), dim)
+		}
+		if math.IsNaN(s.Target) || math.IsInf(s.Target, 0) {
+			return nil, fmt.Errorf("dtree: sample %d has invalid target", i)
+		}
+	}
+	cfg = cfg.withDefaults()
+	t := &Tree{features: dim}
+	t.root = grow(samples, cfg, 0)
+	return t, nil
+}
+
+// Features returns the feature dimensionality the tree was fitted on.
+func (t *Tree) Features() int { return t.features }
+
+// Predict returns the tree's estimate for the feature vector.
+func (t *Tree) Predict(features []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the depth of the fitted tree (a single leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// FeatureImportance returns, per feature, the total squared-error reduction
+// contributed by splits on that feature, normalised to sum to 1 (all zeros
+// when the tree is a single leaf).  The tuner uses it to rank which
+// parameter most influences a metric.
+func (t *Tree) FeatureImportance() []float64 {
+	imp := make([]float64, t.features)
+	collectImportance(t.root, imp)
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+func collectImportance(n *node, imp []float64) {
+	if n == nil || n.leaf {
+		return
+	}
+	imp[n.feature] += n.value // value holds the split gain on internal nodes
+	collectImportance(n.left, imp)
+	collectImportance(n.right, imp)
+}
+
+func grow(samples []Sample, cfg Config, level int) *node {
+	mean, sse := meanSSE(samples)
+	// A node at level L has depth L+1; splitting is only allowed while the
+	// children would still respect MaxDepth.
+	if level >= cfg.MaxDepth-1 || len(samples) < 2*cfg.MinSamplesLeaf || sse < 1e-12 {
+		return &node{leaf: true, value: mean}
+	}
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	var bestLeft, bestRight []Sample
+	dim := len(samples[0].Features)
+	for f := 0; f < dim; f++ {
+		sorted := append([]Sample(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Features[f] < sorted[j].Features[f] })
+		for i := cfg.MinSamplesLeaf; i <= len(sorted)-cfg.MinSamplesLeaf; i++ {
+			if sorted[i-1].Features[f] == sorted[i].Features[f] {
+				continue
+			}
+			left, right := sorted[:i], sorted[i:]
+			_, lsse := meanSSE(left)
+			_, rsse := meanSSE(right)
+			gain := sse - lsse - rsse
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (sorted[i-1].Features[f] + sorted[i].Features[f]) / 2
+				bestLeft = append([]Sample(nil), left...)
+				bestRight = append([]Sample(nil), right...)
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &node{leaf: true, value: mean}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		value:     bestGain, // stored as split gain for feature importance
+		left:      grow(bestLeft, cfg, level+1),
+		right:     grow(bestRight, cfg, level+1),
+	}
+}
+
+func meanSSE(samples []Sample) (mean, sse float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		mean += s.Target
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		d := s.Target - mean
+		sse += d * d
+	}
+	return mean, sse
+}

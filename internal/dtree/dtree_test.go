@@ -1,0 +1,165 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, Config{}); err == nil {
+		t.Fatal("empty training set should be rejected")
+	}
+	if _, err := Fit([]Sample{{Features: nil, Target: 1}}, Config{}); err == nil {
+		t.Fatal("zero-dimension features should be rejected")
+	}
+	if _, err := Fit([]Sample{{Features: []float64{1}, Target: 1}, {Features: []float64{1, 2}, Target: 1}}, Config{}); err == nil {
+		t.Fatal("inconsistent dimensionality should be rejected")
+	}
+	if _, err := Fit([]Sample{{Features: []float64{1}, Target: math.NaN()}}, Config{}); err == nil {
+		t.Fatal("NaN target should be rejected")
+	}
+}
+
+func TestSingleSampleIsALeaf(t *testing.T) {
+	tree, err := Fit([]Sample{{Features: []float64{1, 2}, Target: 7}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Fatalf("single sample should give a single leaf, depth %d", tree.Depth())
+	}
+	if tree.Predict([]float64{100, -3}) != 7 {
+		t.Fatal("leaf should predict the sample value everywhere")
+	}
+	if tree.Features() != 2 {
+		t.Fatal("feature count should be recorded")
+	}
+	imp := tree.FeatureImportance()
+	if imp[0] != 0 || imp[1] != 0 {
+		t.Fatal("a single leaf has no feature importance")
+	}
+}
+
+func TestTreeLearnsAStepFunction(t *testing.T) {
+	// Target depends only on feature 0: 10 when x0 <= 0.5, 20 otherwise.
+	var samples []Sample
+	for i := 0; i < 40; i++ {
+		x := float64(i) / 40
+		target := 10.0
+		if x > 0.5 {
+			target = 20
+		}
+		samples = append(samples, Sample{Features: []float64{x, float64(i % 3)}, Target: target})
+	}
+	tree, err := Fit(samples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.2, 1}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("Predict(0.2) = %g, want ~10", got)
+	}
+	if got := tree.Predict([]float64{0.9, 2}); math.Abs(got-20) > 0.5 {
+		t.Fatalf("Predict(0.9) = %g, want ~20", got)
+	}
+	imp := tree.FeatureImportance()
+	if imp[0] < 0.9 {
+		t.Fatalf("feature 0 should carry nearly all importance, got %v", imp)
+	}
+	if s := imp[0] + imp[1]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("importances should sum to 1, got %g", s)
+	}
+}
+
+func TestTreeApproximatesLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 4
+		y := rng.Float64() * 4
+		samples = append(samples, Sample{Features: []float64{x, y}, Target: 3*x + y})
+	}
+	tree, err := Fit(samples, Config{MaxDepth: 8, MinSamplesLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean absolute error over a grid should be small relative to the range.
+	var mae float64
+	n := 0
+	for x := 0.2; x < 4; x += 0.4 {
+		for y := 0.2; y < 4; y += 0.4 {
+			mae += math.Abs(tree.Predict([]float64{x, y}) - (3*x + y))
+			n++
+		}
+	}
+	mae /= float64(n)
+	if mae > 1.5 {
+		t.Fatalf("mean absolute error %g too high", mae)
+	}
+	// x has three times the influence of y.
+	imp := tree.FeatureImportance()
+	if imp[0] <= imp[1] {
+		t.Fatalf("feature 0 should dominate importance: %v", imp)
+	}
+}
+
+func TestMaxDepthIsHonoured(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, Sample{Features: []float64{float64(i)}, Target: float64(i * i)})
+	}
+	tree, err := Fit(samples, Config{MaxDepth: 3, MinSamplesLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 3 {
+		t.Fatalf("depth %d exceeds the configured maximum", tree.Depth())
+	}
+}
+
+func TestConstantTargetGivesLeaf(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, Sample{Features: []float64{float64(i), float64(-i)}, Target: 5})
+	}
+	tree, err := Fit(samples, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Fatalf("constant target should not be split, depth %d", tree.Depth())
+	}
+	if tree.Predict([]float64{3, 3}) != 5 {
+		t.Fatal("prediction should be the constant")
+	}
+}
+
+// Property: predictions always lie within the range of observed targets.
+func TestPredictionWithinTargetRangeProperty(t *testing.T) {
+	f := func(raw []float64, q uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		var samples []Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			target := math.Mod(v, 1000)
+			lo = math.Min(lo, target)
+			hi = math.Max(hi, target)
+			samples = append(samples, Sample{Features: []float64{float64(i % 5), float64(i % 3)}, Target: target})
+		}
+		tree, err := Fit(samples, Config{})
+		if err != nil {
+			return false
+		}
+		p := tree.Predict([]float64{float64(q % 5), float64(q % 3)})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

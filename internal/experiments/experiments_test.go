@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite runs the five real workloads on up to three cluster
+// configurations, so the package test reuses one shared suite.
+var shared = NewSuite()
+
+func TestStaticTablesRender(t *testing.T) {
+	for name, table := range map[string]string{
+		"Table1": Table1(),
+		"Table2": Table2(),
+		"Table3": Table3(),
+		"Table4": Table4(),
+		"Table5": Table5(),
+	} {
+		if len(table) < 100 {
+			t.Errorf("%s looks empty:\n%s", name, table)
+		}
+	}
+	if !strings.Contains(Table1(), "weight") || !strings.Contains(Table1(), "numChannels") {
+		t.Fatal("Table I should list all nine tunable parameters")
+	}
+	if !strings.Contains(Table3(), "Hadoop TeraSort") || !strings.Contains(Table3(), "convolution") {
+		t.Fatal("Table III should list the workloads and their proxy motifs")
+	}
+	if !strings.Contains(Table4(), "Westmere") {
+		t.Fatal("Table IV should describe the Westmere node")
+	}
+}
+
+func TestTable6RuntimeSpeedups(t *testing.T) {
+	rows, err := shared.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table VI should have 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RealSeconds <= 60 {
+			t.Errorf("%s real runtime %.1fs is implausibly short for the paper-scale input", r.Workload, r.RealSeconds)
+		}
+		if r.ProxySeconds <= 0 || r.ProxySeconds > 120 {
+			t.Errorf("%s proxy runtime %.1fs should be seconds-scale", r.Workload, r.ProxySeconds)
+		}
+		// The headline claim: proxies shorten execution time by orders of
+		// magnitude.  The untuned proxies in this reproduction land between
+		// ~10x and ~1000x depending on the workload, so the check only
+		// guards the direction and order of magnitude.
+		if r.Speedup < 5 {
+			t.Errorf("%s speedup %.0fx is below the expected 100s-of-times range", r.Workload, r.Speedup)
+		}
+	}
+	if out := FormatRuntimeRows("Table VI", rows); !strings.Contains(out, "Speedup") {
+		t.Fatal("formatted table should include the speedup column")
+	}
+}
+
+func TestFigure4AccuracyAboveThreshold(t *testing.T) {
+	rows, err := shared.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Figure 4 should cover 5 workloads, got %d", len(rows))
+	}
+	var sum float64
+	for _, r := range rows {
+		if len(r.PerMetric) == 0 {
+			t.Fatalf("%s has no per-metric accuracies", r.Workload)
+		}
+		// The paper reports >0.9 with auto-tuned proxies on real hardware;
+		// the untuned proxies on the simulated substrate land considerably
+		// lower (see EXPERIMENTS.md), so this check only guards against the
+		// proxies degenerating into noise.
+		if r.Average < 0.2 {
+			t.Errorf("%s average accuracy %.2f is too low even for untuned proxies", r.Workload, r.Average)
+		}
+		sum += r.Average
+	}
+	overall := sum / float64(len(rows))
+	if overall < 0.25 {
+		t.Fatalf("overall average accuracy %.2f too low", overall)
+	}
+	if out := FormatAccuracyRows("Figure 4", rows); !strings.Contains(out, "Average accuracy") {
+		t.Fatal("formatted figure should include averages")
+	}
+}
+
+func TestFigure5InstructionMixShape(t *testing.T) {
+	rows, err := shared.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Figure 5 should have 10 bars (5 real + 5 proxy), got %d", len(rows))
+	}
+	byName := map[string]MixRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		total := r.Load + r.Store + r.Branch + r.Int + r.Float
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("%s instruction mix sums to %.3f", r.Name, total)
+		}
+	}
+	// Big data workloads: negligible FP; AI workloads: large FP share — and
+	// the proxies must follow the same pattern (the paper's headline mix
+	// observation).
+	if byName["Hadoop/TF TeraSort"].Float > 0.05 || byName["Proxy TeraSort"].Float > 0.05 {
+		t.Error("TeraSort (real and proxy) should have a negligible FP share")
+	}
+	if byName["Hadoop/TF AlexNet"].Float < 0.2 || byName["Proxy AlexNet"].Float < 0.2 {
+		t.Error("AlexNet (real and proxy) should have a large FP share")
+	}
+	if !strings.Contains(FormatMixRows(rows), "Floating point") {
+		t.Fatal("formatted mix should include the FP column")
+	}
+}
+
+func TestFigure6DiskIOShape(t *testing.T) {
+	rows, err := shared.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DiskRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	// The I/O-intensive big data workloads have orders of magnitude more disk
+	// pressure than the AI workloads, for the real versions and the proxies.
+	if byName["TeraSort"].RealMBps <= 10*byName["AlexNet"].RealMBps {
+		t.Error("real TeraSort disk bandwidth should dwarf real AlexNet's")
+	}
+	if byName["TeraSort"].ProxyMBps <= 3*byName["AlexNet"].ProxyMBps {
+		t.Error("Proxy TeraSort disk bandwidth should dwarf Proxy AlexNet's")
+	}
+	if !strings.Contains(FormatDiskRows(rows), "MB/s") {
+		t.Fatal("formatted disk figure should carry units")
+	}
+}
+
+func TestFigure7SparsityGap(t *testing.T) {
+	r, err := shared.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DenseMemBW <= r.SparseMemBW {
+		t.Fatalf("dense input should need more memory bandwidth (%.3g vs %.3g)", r.DenseMemBW, r.SparseMemBW)
+	}
+	if r.SparseReadBW <= 0 || r.DenseWriteBW <= 0 {
+		t.Fatal("bandwidth components should be positive")
+	}
+	if !strings.Contains(FormatFigure7(r), "Sparse") {
+		t.Fatal("formatted figure should label the sparse column")
+	}
+}
+
+func TestFigure8ProxyTracksBothInputs(t *testing.T) {
+	r, err := shared.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sparse.Average < 0.2 || r.Dense.Average < 0.2 {
+		t.Fatalf("the single Proxy K-means should track both inputs (sparse %.2f, dense %.2f)",
+			r.Sparse.Average, r.Dense.Average)
+	}
+}
+
+func TestTable7AndFigure9NewClusterConfiguration(t *testing.T) {
+	rows, err := shared.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table VII should have 5 rows, got %d", len(rows))
+	}
+	five, err := shared.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TeraSort on two workers should be slower than on four workers.
+	if rows[0].RealSeconds <= five[0].RealSeconds {
+		t.Errorf("TeraSort on the three-node cluster (%.0fs) should be slower than on the five-node cluster (%.0fs)",
+			rows[0].RealSeconds, five[0].RealSeconds)
+	}
+	for _, r := range rows {
+		if r.Speedup < 5 {
+			t.Errorf("%s speedup %.0fx on the new cluster is below the expected range", r.Workload, r.Speedup)
+		}
+	}
+	acc, err := shared.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range acc {
+		if r.Average < 0.2 {
+			t.Errorf("%s accuracy %.2f on the new cluster configuration too low", r.Workload, r.Average)
+		}
+	}
+}
+
+func TestFigure10CrossArchitectureTrends(t *testing.T) {
+	rows, err := shared.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Figure 10 should have 5 workloads, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Both the real workload and its proxy must see Haswell as faster
+		// (speedup > 1) and within a plausible range (the paper reports
+		// 1.1x - 1.8x).
+		if r.RealSpeedup <= 1.0 || r.RealSpeedup > 2.5 {
+			t.Errorf("%s real speedup %.2f outside the expected range", r.Workload, r.RealSpeedup)
+		}
+		if r.ProxySpeedup <= 1.0 || r.ProxySpeedup > 2.5 {
+			t.Errorf("%s proxy speedup %.2f outside the expected range", r.Workload, r.ProxySpeedup)
+		}
+	}
+	if !strings.Contains(FormatSpeedupRows(rows), "Haswell") {
+		t.Fatal("formatted figure should mention the processors")
+	}
+}
+
+func TestSuiteCachesRealRuns(t *testing.T) {
+	s := NewSuite()
+	if _, err := s.realReport("terasort", fiveNodeWestmere); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.realReports)
+	if _, err := s.realReport("terasort", fiveNodeWestmere); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.realReports) != before {
+		t.Fatal("repeated requests should reuse the cached report")
+	}
+	if _, err := s.realReport("nope", fiveNodeWestmere); err == nil {
+		t.Fatal("unknown workload should be rejected")
+	}
+}

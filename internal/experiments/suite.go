@@ -1,0 +1,252 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section III) and case studies (Section IV): runtime speedups
+// (Table VI, Table VII), system and micro-architectural accuracy (Figures 4,
+// 8, 9), instruction mix (Figure 5), disk I/O bandwidth (Figure 6), the
+// input-data sparsity study (Figures 7 and 8), and the cross-architecture
+// speedup comparison (Figure 10), plus the descriptive tables (I-V).
+//
+// All results are produced by running the real-workload models and the
+// generated proxy benchmarks on the simulated clusters; absolute values
+// therefore differ from the paper's hardware measurements, but the harness
+// reproduces the shape of every result: which side wins, by roughly what
+// factor, and how the trends move across data sets, cluster configurations
+// and processor generations.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+	"dataproxy/internal/workloads"
+)
+
+// WorkloadOrder is the paper's ordering of the five workloads.
+var WorkloadOrder = []string{"terasort", "kmeans", "pagerank", "alexnet", "inception"}
+
+// Suite runs and caches the real-workload and proxy-benchmark measurements
+// that the individual tables and figures are derived from, so that
+// regenerating several tables does not re-execute the same workloads.
+type Suite struct {
+	mu sync.Mutex
+	// Tune enables auto-tuning of each proxy benchmark against its real
+	// workload before the accuracy figures are produced.
+	Tune bool
+	// TuneOptions configures the tuner when Tune is enabled.
+	TuneOptions tuner.Options
+
+	realReports  map[string]sim.Report
+	proxyReports map[string]sim.Report
+	settings     map[string]core.Setting
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite {
+	return &Suite{
+		realReports:  make(map[string]sim.Report),
+		proxyReports: make(map[string]sim.Report),
+		settings:     make(map[string]core.Setting),
+	}
+}
+
+// clusterKey identifies the cluster configurations used by the paper.
+type clusterKey string
+
+const (
+	fiveNodeWestmere  clusterKey = "5xWestmere32GB"
+	threeNodeWestmere clusterKey = "3xWestmere64GB"
+	threeNodeHaswell  clusterKey = "3xHaswell64GB"
+)
+
+func clusterConfig(key clusterKey) sim.ClusterConfig {
+	switch key {
+	case threeNodeWestmere:
+		return sim.ThreeNodeWestmere64GB()
+	case threeNodeHaswell:
+		return sim.ThreeNodeHaswell64GB()
+	default:
+		return sim.FiveNodeWestmere()
+	}
+}
+
+func proxyProfile(key clusterKey) arch.Profile {
+	if key == threeNodeHaswell {
+		return arch.Haswell()
+	}
+	return arch.Westmere()
+}
+
+func workloadSet(key clusterKey) []workloads.Spec {
+	if key == fiveNodeWestmere {
+		return workloads.PaperWorkloads()
+	}
+	return workloads.NewClusterWorkloads()
+}
+
+// realReport runs (or returns the cached run of) one real workload on the
+// given cluster configuration.
+func (s *Suite) realReport(short string, key clusterKey) (sim.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := short + "/" + string(key)
+	if rep, ok := s.realReports[id]; ok {
+		return rep, nil
+	}
+	var spec workloads.Spec
+	found := false
+	for _, w := range workloadSet(key) {
+		if w.ShortName == short {
+			spec, found = w, true
+			break
+		}
+	}
+	if !found {
+		return sim.Report{}, fmt.Errorf("experiments: unknown workload %q", short)
+	}
+	cluster, err := sim.NewCluster(clusterConfig(key))
+	if err != nil {
+		return sim.Report{}, err
+	}
+	if err := spec.Run(cluster); err != nil {
+		return sim.Report{}, fmt.Errorf("experiments: running %s: %w", spec.Name, err)
+	}
+	rep := cluster.Report(spec.Name)
+	s.realReports[id] = rep
+	return rep, nil
+}
+
+// proxyReport runs (or returns the cached run of) one proxy benchmark on a
+// single node with the given processor generation, optionally tuning it
+// against the real workload's metrics first.
+func (s *Suite) proxyReport(short string, key clusterKey) (sim.Report, error) {
+	id := short + "/" + string(key)
+	s.mu.Lock()
+	if rep, ok := s.proxyReports[id]; ok {
+		s.mu.Unlock()
+		return rep, nil
+	}
+	s.mu.Unlock()
+
+	b, err := proxy.ForWorkload(short)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	setting, err := s.settingFor(short, key, b)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	cluster, err := sim.NewCluster(sim.SingleNode(proxyProfile(key), 0))
+	if err != nil {
+		return sim.Report{}, err
+	}
+	rep, err := core.Run(cluster, b, setting)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	s.mu.Lock()
+	s.proxyReports[id] = rep
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// settingFor returns the tuned (or default) parameter setting for a proxy.
+// A proxy is tuned once, against the five-node Westmere profile of its real
+// workload, and the same qualified proxy benchmark is then reused everywhere
+// — that reuse across data sets, cluster configurations and architectures is
+// exactly what the paper's case studies evaluate.
+func (s *Suite) settingFor(short string, key clusterKey, b *core.Benchmark) (core.Setting, error) {
+	s.mu.Lock()
+	if st, ok := s.settings[short]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+	if !s.Tune {
+		return core.DefaultSetting(), nil
+	}
+	target, err := s.realReport(short, fiveNodeWestmere)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	if err != nil {
+		return nil, err
+	}
+	res, err := tuner.Tune(cluster, b, target.Metrics, s.TuneOptions)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.settings[short] = res.Setting
+	s.mu.Unlock()
+	_ = key
+	return res.Setting, nil
+}
+
+// displayName maps short names to the paper's workload names.
+func displayName(short string) string {
+	switch short {
+	case "terasort":
+		return "TeraSort"
+	case "kmeans":
+		return "K-means"
+	case "pagerank":
+		return "PageRank"
+	case "alexnet":
+		return "AlexNet"
+	case "inception":
+		return "Inception-V3"
+	default:
+		return short
+	}
+}
+
+// formatTable renders rows as a fixed-width text table.
+func formatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

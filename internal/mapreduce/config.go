@@ -1,0 +1,146 @@
+// Package mapreduce is the Hadoop-like substrate the "real" big data
+// workloads of the paper run on.  It models the parts of the software stack
+// that dominate Hadoop behaviour — HDFS-style input splits, map tasks with
+// spill-to-disk output buffers, an all-to-all shuffle over the cluster
+// network, merge-sorted reduce inputs, replicated output writes, JVM-style
+// garbage collection and a large instruction footprint — while the map and
+// reduce functions supplied by each workload perform real computation on
+// sampled data that the engine extrapolates to the configured input size.
+package mapreduce
+
+import (
+	"fmt"
+
+	"dataproxy/internal/sim"
+)
+
+// Byte-size helpers.
+const (
+	KiB = uint64(1024)
+	MiB = 1024 * KiB
+	GiB = 1024 * MiB
+)
+
+// Config describes one MapReduce job the way a Hadoop job configuration
+// would: data volume, split size, task counts and memory settings.  The
+// sampling fields control how much real data is processed in-process; the
+// engine extrapolates counters and virtual time to the configured volume.
+type Config struct {
+	// Name identifies the job in stage results.
+	Name string
+
+	// TotalInputBytes is the configured (full) input volume, e.g. 100 GB of
+	// gensort text for TeraSort.
+	TotalInputBytes uint64
+	// SplitBytes is the HDFS block / input split size (default 128 MiB).
+	SplitBytes uint64
+	// NumReduceTasks is the configured number of reducers (default: two per
+	// worker node).
+	NumReduceTasks int
+
+	// MapSlotsPerNode / ReduceSlotsPerNode bound per-node task parallelism
+	// (default: the node's core count for maps, half for reduces).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+
+	// MapOutputBufferBytes models mapreduce.task.io.sort.mb: map output
+	// beyond this size spills to disk and is merged in extra passes.
+	MapOutputBufferBytes uint64
+	// HeapPerTaskBytes is the JVM heap per task used by the GC model.
+	HeapPerTaskBytes uint64
+	// ReplicationFactor is the HDFS replication of the job output.
+	ReplicationFactor int
+
+	// MapOutputRatio estimates output volume relative to input volume for a
+	// map task (1.0 for TeraSort, small for aggregations); it is only used
+	// for spill estimation before the real ratio is known.
+	MapOutputRatio float64
+
+	// SampleMapTasks is the number of map tasks actually executed on sample
+	// data (the rest are extrapolated).
+	SampleMapTasks int
+	// SampleBytesPerTask is the amount of real data each sampled map task
+	// processes in memory.
+	SampleBytesPerTask uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TotalInputBytes == 0 {
+		return fmt.Errorf("mapreduce: job %q has no input", c.Name)
+	}
+	if c.SplitBytes == 0 {
+		return fmt.Errorf("mapreduce: job %q has zero split size", c.Name)
+	}
+	if c.SampleBytesPerTask == 0 || c.SampleMapTasks <= 0 {
+		return fmt.Errorf("mapreduce: job %q has no sampling configuration", c.Name)
+	}
+	if c.MapOutputRatio < 0 {
+		return fmt.Errorf("mapreduce: job %q has negative map output ratio", c.Name)
+	}
+	return nil
+}
+
+// withDefaults fills in Hadoop-like defaults that depend on the cluster.
+func (c Config) withDefaults(cluster *sim.Cluster) Config {
+	cores := cluster.Config().Profile.TotalCores()
+	workers := cluster.Config().WorkerNodes()
+	if workers <= 0 {
+		workers = 1
+	}
+	if c.SplitBytes == 0 {
+		c.SplitBytes = 128 * MiB
+	}
+	if c.NumReduceTasks <= 0 {
+		c.NumReduceTasks = 2 * workers
+	}
+	if c.MapSlotsPerNode <= 0 {
+		c.MapSlotsPerNode = cores
+	}
+	if c.ReduceSlotsPerNode <= 0 {
+		c.ReduceSlotsPerNode = cores / 2
+		if c.ReduceSlotsPerNode < 1 {
+			c.ReduceSlotsPerNode = 1
+		}
+	}
+	if c.MapOutputBufferBytes == 0 {
+		c.MapOutputBufferBytes = 256 * MiB
+	}
+	if c.HeapPerTaskBytes == 0 {
+		// Scale the per-task heap with the node memory, as the paper's
+		// "optimized Hadoop configurations ... memory allocation for each
+		// map/reduce job according to the cluster scales" does.
+		perTask := cluster.Config().MemoryPerNodeBytes / uint64(cores) / 2
+		if perTask < 512*MiB {
+			perTask = 512 * MiB
+		}
+		c.HeapPerTaskBytes = perTask
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 3
+	}
+	if c.MapOutputRatio == 0 {
+		c.MapOutputRatio = 1
+	}
+	return c
+}
+
+// NumMapTasks returns the number of real map tasks implied by the input
+// volume and split size.
+func (c Config) NumMapTasks() int {
+	n := int((c.TotalInputBytes + c.SplitBytes - 1) / c.SplitBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// hadoopCodeFootprintBytes models the instruction working set of the JVM +
+// Hadoop framework stack (class library, serialisation, RPC), which the
+// paper identifies as the source of the poor instruction-cache behaviour of
+// big data workloads.
+const hadoopCodeFootprintBytes = 6 * 1024 * 1024
+
+// hadoopJumpsPer1k is the taken-control-transfer density of framework-heavy
+// JVM code.
+const hadoopJumpsPer1k = 180

@@ -1,0 +1,124 @@
+package motif
+
+import (
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "graph_construction",
+		Class:       ClassGraph,
+		Description: "build an adjacency-list graph from an edge list (keys) or record partitions",
+		Run:         runGraphConstruction,
+	})
+	register(Impl{
+		Name:        "graph_traversal",
+		Class:       ClassGraph,
+		Description: "breadth-first traversal over the graph from multiple sources",
+		Run:         runGraphTraversal,
+	})
+}
+
+func runGraphConstruction(ex *sim.Exec, in *Dataset) *Dataset {
+	if in.Graph != nil {
+		// Re-index an existing graph: the construction cost is dominated by
+		// scattering edges into per-vertex adjacency buckets.
+		g := in.Graph
+		rg := in.Region(ex)
+		adj := make([][]int32, g.NumVertices())
+		out := &Dataset{Graph: &datagen.Graph{Adj: adj}}
+		ro := out.Region(ex)
+		for v, ns := range g.Adj {
+			ex.Touch(rg, uint64(v)*24, false)
+			for _, w := range ns {
+				ex.Touch(rg, uint64(w)*4, false)
+				adj[v] = append(adj[v], w)
+				ex.Touch(ro, uint64(w)*4, true)
+				ex.Int(3)
+				ex.Branch(siteGraphVisit, len(adj[v])%2 == 0)
+			}
+		}
+		return out
+	}
+	// Build a graph from pairs of keys treated as directed edges, the shape
+	// TeraSort's partition map takes when modelled as a range-partition tree.
+	keys := in.Keys
+	if len(keys) == 0 && len(in.Records) > 0 {
+		r := in.Region(ex)
+		keys = make([]int64, len(in.Records))
+		for i, rec := range in.Records {
+			ex.Touch(r, uint64(i)*datagen.RecordSize, false)
+			keys[i] = int64(rec.Key[0])<<8 | int64(rec.Key[1])
+			ex.Int(4)
+		}
+	}
+	n := 1024
+	adj := make([][]int32, n)
+	out := &Dataset{Graph: &datagen.Graph{Adj: adj}}
+	ro := out.Region(ex)
+	for i := 0; i+1 < len(keys); i += 2 {
+		src := int(uint64(keys[i]) % uint64(n))
+		dst := int32(uint64(keys[i+1]) % uint64(n))
+		adj[src] = append(adj[src], dst)
+		ex.Touch(ro, uint64(src)*24, true)
+		ex.Int(6)
+		ex.Branch(siteGraphVisit, len(adj[src]) > 1)
+	}
+	return out
+}
+
+func runGraphTraversal(ex *sim.Exec, in *Dataset) *Dataset {
+	g := in.Graph
+	if g == nil {
+		// Construct first, then traverse.
+		constructed := runGraphConstruction(ex, in)
+		g = constructed.Graph
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &Dataset{Graph: g}
+	}
+	rg := in.Region(ex)
+	visited := make([]bool, n)
+	visitRegion := ex.Node().Alloc(uint64(n))
+	order := make([]int64, 0, n)
+	queue := make([]int32, 0, n)
+	// Multi-source BFS: start from a handful of roots spread over the graph
+	// so disconnected components are covered.
+	for s := 0; s < n; s += maxInt(1, n/8) {
+		if visited[s] {
+			continue
+		}
+		queue = append(queue[:0], int32(s))
+		visited[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, int64(v))
+			ex.Touch(rg, uint64(v)*24, false)
+			for _, w := range g.Adj[v] {
+				ex.Touch(rg, uint64(w)*4, false)
+				ex.Touch(visitRegion, uint64(w), false)
+				seen := visited[w]
+				ex.Int(3)
+				ex.Branch(siteGraphVisit, seen)
+				if !seen {
+					visited[w] = true
+					ex.Touch(visitRegion, uint64(w), true)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	out := &Dataset{Keys: order, Graph: g}
+	ex.Store(out.Region(ex), 0, uint64(len(order))*8)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

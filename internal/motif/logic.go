@@ -1,0 +1,129 @@
+package motif
+
+import (
+	"crypto/md5"
+
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "md5_hash",
+		Class:       ClassLogic,
+		Description: "MD5 digest of every record / byte block (bit-manipulation heavy)",
+		Run:         runMD5Hash,
+	})
+	register(Impl{
+		Name:        "encryption",
+		Class:       ClassLogic,
+		Description: "stream-cipher style XOR/rotate encryption over the byte stream",
+		Run:         runEncryption,
+	})
+}
+
+// bytesFrom flattens whatever the dataset holds into a byte stream for the
+// logic motifs.
+func bytesFrom(in *Dataset) []byte {
+	if len(in.Bytes) > 0 {
+		return in.Bytes
+	}
+	if len(in.Records) > 0 {
+		b := make([]byte, 0, len(in.Records)*datagen.RecordSize)
+		for _, r := range in.Records {
+			b = append(b, r.Key[:]...)
+			b = append(b, r.Payload[:]...)
+		}
+		return b
+	}
+	if len(in.Keys) > 0 {
+		b := make([]byte, len(in.Keys)*8)
+		for i, k := range in.Keys {
+			for j := 0; j < 8; j++ {
+				b[i*8+j] = byte(k >> (8 * j))
+			}
+		}
+		return b
+	}
+	if len(in.Words) > 0 {
+		var b []byte
+		for _, w := range in.Words {
+			b = append(b, w...)
+		}
+		return b
+	}
+	return nil
+}
+
+func runMD5Hash(ex *sim.Exec, in *Dataset) *Dataset {
+	data := bytesFrom(in)
+	if len(data) == 0 {
+		return &Dataset{}
+	}
+	r := in.Region(ex)
+	const block = 256
+	digests := make([]byte, 0, (len(data)/block+1)*md5.Size)
+	out := &Dataset{}
+	for off := 0; off < len(data); off += block {
+		end := off + block
+		if end > len(data) {
+			end = len(data)
+		}
+		sum := md5.Sum(data[off:end])
+		digests = append(digests, sum[:]...)
+		ex.Load(r, uint64(off), uint64(end-off))
+		// MD5 performs 64 rounds of ~10 integer/logic operations per 64-byte
+		// chunk.
+		chunks := uint64((end-off+63)/64) + 1
+		ex.Int(chunks * 64 * 10)
+		ex.Branch(siteHash, off%512 == 0)
+	}
+	out.Bytes = digests
+	ex.Store(out.Region(ex), 0, uint64(len(digests)))
+	return out
+}
+
+func runEncryption(ex *sim.Exec, in *Dataset) *Dataset {
+	data := bytesFrom(in)
+	if len(data) == 0 {
+		return &Dataset{}
+	}
+	r := in.Region(ex)
+	out := &Dataset{Bytes: make([]byte, len(data))}
+	ro := out.Region(ex)
+	// Simple ARX-style stream cipher: deterministic, branch-light,
+	// logic-operation heavy.
+	state := uint64(0x0123456789abcdef)
+	const chunk = 1024
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := off; i < end; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			out.Bytes[i] = data[i] ^ byte(state)
+		}
+		ex.Load(r, uint64(off), uint64(end-off))
+		ex.Store(ro, uint64(off), uint64(end-off))
+		ex.Int(uint64(end-off) * 7)
+		ex.Branch(siteEncrypt, true)
+	}
+	return out
+}
+
+// Decrypt reverses runEncryption's cipher; it exists so tests can verify the
+// transformation is a real, invertible computation.
+func Decrypt(cipher []byte) []byte {
+	plain := make([]byte, len(cipher))
+	state := uint64(0x0123456789abcdef)
+	for i := range cipher {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		plain[i] = cipher[i] ^ byte(state)
+	}
+	return plain
+}

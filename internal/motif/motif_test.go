@@ -1,0 +1,613 @@
+package motif
+
+import (
+	"testing"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// runImpl executes one motif implementation on a fresh single-node cluster
+// and returns the produced dataset plus the node's counters.
+func runImpl(t *testing.T, name string, in *Dataset) (*Dataset, perf.Counters) {
+	t.Helper()
+	impl, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	var out *Dataset
+	c.RunOnNode(name, 0, 1, func(ex *sim.Exec) {
+		out = impl.Run(ex, in)
+	})
+	cnt := c.Nodes()[0].Counters()
+	if err := cnt.Validate(); err != nil {
+		t.Fatalf("%s produced inconsistent counters: %v", name, err)
+	}
+	return out, cnt
+}
+
+func recordsInput(t *testing.T, n int) *Dataset {
+	t.Helper()
+	recs, err := datagen.GenerateRecords(datagen.TextConfig{Seed: 1, Records: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Dataset{Records: recs}
+}
+
+func TestRegistryCoversAllEightClasses(t *testing.T) {
+	seen := map[Class]bool{}
+	for _, name := range Names() {
+		impl, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[impl.Class] = true
+		if impl.Description == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	for _, c := range Classes() {
+		if !seen[c] {
+			t.Errorf("no implementation registered for motif class %s", c)
+		}
+	}
+	if len(Classes()) != 8 {
+		t.Fatalf("the paper defines 8 data motif classes, got %d", len(Classes()))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-motif"); err == nil {
+		t.Fatal("unknown motif should return an error")
+	}
+}
+
+func TestByClass(t *testing.T) {
+	sorts := ByClass(ClassSort)
+	if len(sorts) != 2 {
+		t.Fatalf("expected 2 sort implementations, got %d", len(sorts))
+	}
+	for _, impl := range sorts {
+		if impl.Class != ClassSort {
+			t.Fatal("ByClass returned an implementation of another class")
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassSort.String() != "Sort" || ClassMatrix.String() != "Matrix" {
+		t.Fatal("class names wrong")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class should still render")
+	}
+}
+
+func TestQuicksortSortsRecords(t *testing.T) {
+	in := recordsInput(t, 3000)
+	out, cnt := runImpl(t, "quicksort", in)
+	if len(out.Records) != 3000 {
+		t.Fatalf("output has %d records", len(out.Records))
+	}
+	if !RecordsSorted(out.Records) {
+		t.Fatal("quicksort output is not sorted")
+	}
+	if RecordsSorted(in.Records) {
+		t.Fatal("test input should not be pre-sorted")
+	}
+	if cnt.BranchInstrs == 0 || cnt.LoadInstrs == 0 {
+		t.Fatal("sort should report branches and loads")
+	}
+	// Sorting is integer/branch heavy, not floating point.
+	if cnt.FloatInstrs > cnt.IntInstrs/10 {
+		t.Fatalf("sort should be integer dominated (int=%d float=%d)", cnt.IntInstrs, cnt.FloatInstrs)
+	}
+}
+
+func TestQuicksortSortsKeys(t *testing.T) {
+	keys, values := datagen.KeyValues(3, 5000, 100000)
+	out, _ := runImpl(t, "quicksort", &Dataset{Keys: keys, Values: values})
+	if !KeysSorted(out.Keys) {
+		t.Fatal("quicksort should sort integer keys")
+	}
+	if len(out.Values) != len(values) {
+		t.Fatal("values should be carried through")
+	}
+}
+
+func TestMergesortSortsRecordsAndKeys(t *testing.T) {
+	in := recordsInput(t, 2500)
+	out, _ := runImpl(t, "mergesort", in)
+	if !RecordsSorted(out.Records) {
+		t.Fatal("mergesort output is not sorted")
+	}
+	keys, _ := datagen.KeyValues(7, 4000, 1<<30)
+	outK, _ := runImpl(t, "mergesort", &Dataset{Keys: keys})
+	if !KeysSorted(outK.Keys) {
+		t.Fatal("mergesort should sort integer keys")
+	}
+}
+
+func TestSortHandlesDegenerateInputs(t *testing.T) {
+	// Already sorted, all-equal and empty inputs must not break.
+	for _, name := range []string{"quicksort", "mergesort"} {
+		equal := make([]int64, 2000)
+		out, _ := runImpl(t, name, &Dataset{Keys: equal})
+		if !KeysSorted(out.Keys) || len(out.Keys) != 2000 {
+			t.Fatalf("%s failed on all-equal keys", name)
+		}
+		out, _ = runImpl(t, name, &Dataset{})
+		if len(out.Keys) != 0 && len(out.Records) != 0 {
+			t.Fatalf("%s on empty input should produce empty output", name)
+		}
+		sorted := make([]int64, 3000)
+		for i := range sorted {
+			sorted[i] = int64(i)
+		}
+		out, _ = runImpl(t, name, &Dataset{Keys: sorted})
+		if !KeysSorted(out.Keys) {
+			t.Fatalf("%s failed on pre-sorted keys", name)
+		}
+	}
+}
+
+func TestRandomSamplingSelectsSubset(t *testing.T) {
+	in := recordsInput(t, 5000)
+	out, cnt := runImpl(t, "random_sampling", in)
+	if len(out.Records) == 0 || len(out.Records) >= len(in.Records)/2 {
+		t.Fatalf("random sampling selected %d of %d records", len(out.Records), len(in.Records))
+	}
+	ratio := float64(len(out.Records)) / float64(len(in.Records))
+	if ratio < 0.05 || ratio > 0.2 {
+		t.Fatalf("sampling ratio %g should be near %g", ratio, defaultSampleFraction)
+	}
+	if cnt.BranchInstrs == 0 {
+		t.Fatal("sampling decisions are branches")
+	}
+}
+
+func TestIntervalSamplingIsSystematic(t *testing.T) {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	out, _ := runImpl(t, "interval_sampling", &Dataset{Keys: keys})
+	if len(out.Keys) != 100 {
+		t.Fatalf("interval sampling kept %d of 1000 keys", len(out.Keys))
+	}
+	for i, k := range out.Keys {
+		if k != int64(i*10) {
+			t.Fatalf("interval sampling should pick every 10th element, got %d at %d", k, i)
+		}
+	}
+	// Vector and record inputs are also supported.
+	vecs, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 2, Count: 100, Dim: 4})
+	outV, _ := runImpl(t, "interval_sampling", &Dataset{Vectors: vecs})
+	if len(outV.Vectors) != 10 {
+		t.Fatalf("vector interval sampling kept %d", len(outV.Vectors))
+	}
+	outR, _ := runImpl(t, "random_sampling", &Dataset{Vectors: vecs})
+	if len(outR.Vectors) == 0 {
+		t.Fatal("vector random sampling kept nothing")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	// keys: first half 0..99, second half 50..149 -> union 150, intersection
+	// 50, difference (first minus second) 50.
+	keys := make([]int64, 200)
+	for i := 0; i < 100; i++ {
+		keys[i] = int64(i)
+		keys[100+i] = int64(50 + i)
+	}
+	union, cnt := runImpl(t, "set_union", &Dataset{Keys: keys})
+	if len(union.Keys) != 150 {
+		t.Fatalf("union size %d, want 150", len(union.Keys))
+	}
+	if cnt.BranchInstrs == 0 || cnt.StoreInstrs == 0 {
+		t.Fatal("set union should probe and store")
+	}
+	inter, _ := runImpl(t, "set_intersection", &Dataset{Keys: keys})
+	if len(inter.Keys) != 50 {
+		t.Fatalf("intersection size %d, want 50", len(inter.Keys))
+	}
+	diff, _ := runImpl(t, "set_difference", &Dataset{Keys: keys})
+	if len(diff.Keys) != 50 {
+		t.Fatalf("difference size %d, want 50", len(diff.Keys))
+	}
+	// Record inputs are hashed into keys first.
+	recUnion, _ := runImpl(t, "set_union", recordsInput(t, 500))
+	if len(recUnion.Keys) == 0 {
+		t.Fatal("set union over records should produce keys")
+	}
+}
+
+func TestMatrixMultiplication(t *testing.T) {
+	m, _ := datagen.GenerateMatrix(datagen.MatrixConfig{Seed: 3, Rows: 48, Cols: 48})
+	out, cnt := runImpl(t, "matrix_multiplication", &Dataset{Matrix: m, Rows: 48, Cols: 48})
+	if out.Rows != 48 || out.Cols != 48 || len(out.Matrix) != 48*48 {
+		t.Fatalf("output shape %dx%d", out.Rows, out.Cols)
+	}
+	// Verify one element against a reference computation.
+	var want float64
+	for k := 0; k < 48; k++ {
+		want += m[0*48+k] * m[k*48+0]
+	}
+	got := out.Matrix[0]
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("matmul[0,0] = %g, want %g", got, want)
+	}
+	if cnt.FloatInstrs == 0 {
+		t.Fatal("matrix multiplication must report floating point work")
+	}
+	if cnt.FloatInstrs < cnt.IntInstrs {
+		t.Fatal("matrix multiplication should be FP dominated")
+	}
+	// Works from vectors and floats too, and gracefully on empty input.
+	vecs, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 5, Count: 32, Dim: 32})
+	outV, _ := runImpl(t, "matrix_multiplication", &Dataset{Vectors: vecs})
+	if outV.Rows == 0 {
+		t.Fatal("matmul from vectors should produce a matrix")
+	}
+	empty, _ := runImpl(t, "matrix_multiplication", &Dataset{})
+	if len(empty.Matrix) != 0 {
+		t.Fatal("empty input should produce empty output")
+	}
+}
+
+func TestMatrixConstruction(t *testing.T) {
+	g, _ := datagen.GeneratePowerLawGraph(datagen.GraphConfig{Seed: 4, Vertices: 100, AvgDegree: 4})
+	out, _ := runImpl(t, "matrix_construction", &Dataset{Graph: g})
+	if out.Rows == 0 || len(out.Matrix) != out.Rows*out.Cols {
+		t.Fatal("graph-based matrix construction failed")
+	}
+	// Column sums of a transition matrix are 1 for vertices with out-degree>0
+	// (within the truncated sub-matrix, at least one column must be non-zero).
+	var nonZero bool
+	for _, v := range out.Matrix {
+		if v != 0 {
+			nonZero = true
+			break
+		}
+	}
+	if !nonZero {
+		t.Fatal("transition matrix should have non-zero entries")
+	}
+	vecs, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 5, Count: 10, Dim: 6})
+	outV, _ := runImpl(t, "matrix_construction", &Dataset{Vectors: vecs})
+	if outV.Rows != 10 || outV.Cols != 6 {
+		t.Fatalf("vector-based construction shape %dx%d", outV.Rows, outV.Cols)
+	}
+}
+
+func TestDistanceMotifsAssignAndScore(t *testing.T) {
+	vecs, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 6, Count: 300, Dim: 32, Sparsity: 0.5})
+	eu, cntE := runImpl(t, "euclidean_distance", &Dataset{Vectors: vecs})
+	if len(eu.Keys) != 300 || len(eu.Floats) != 300 {
+		t.Fatal("euclidean distance should assign every vector")
+	}
+	for _, a := range eu.Keys {
+		if a < 0 || a >= numCentroids {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+	for _, d := range eu.Floats {
+		if d < 0 {
+			t.Fatalf("distance %g negative", d)
+		}
+	}
+	cos, _ := runImpl(t, "cosine_distance", &Dataset{Vectors: vecs})
+	if len(cos.Floats) != 300 {
+		t.Fatal("cosine distance should score every vector")
+	}
+	for _, s := range cos.Floats {
+		if s < -1.0001 || s > 1.0001 {
+			t.Fatalf("cosine similarity %g outside [-1,1]", s)
+		}
+	}
+	if cntE.FloatInstrs == 0 {
+		t.Fatal("distance calculation is floating point work")
+	}
+	empty, _ := runImpl(t, "euclidean_distance", &Dataset{})
+	if len(empty.Keys) != 0 {
+		t.Fatal("empty input should produce empty assignment")
+	}
+}
+
+func TestDistanceSparsityChangesWork(t *testing.T) {
+	sparse, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 6, Count: 200, Dim: 64, Sparsity: 0.9})
+	dense, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 6, Count: 200, Dim: 64, Sparsity: 0})
+	_, cntSparse := runImpl(t, "euclidean_distance", &Dataset{Vectors: sparse})
+	_, cntDense := runImpl(t, "euclidean_distance", &Dataset{Vectors: dense})
+	if cntDense.FloatInstrs <= cntSparse.FloatInstrs {
+		t.Fatalf("dense input (%d FP) should cost more than sparse (%d FP)",
+			cntDense.FloatInstrs, cntSparse.FloatInstrs)
+	}
+}
+
+func TestGraphConstructionAndTraversal(t *testing.T) {
+	g, _ := datagen.GeneratePowerLawGraph(datagen.GraphConfig{Seed: 8, Vertices: 500, AvgDegree: 6})
+	constructed, _ := runImpl(t, "graph_construction", &Dataset{Graph: g})
+	if constructed.Graph == nil || constructed.Graph.NumEdges() != g.NumEdges() {
+		t.Fatal("graph re-construction should preserve edges")
+	}
+	trav, cnt := runImpl(t, "graph_traversal", &Dataset{Graph: g})
+	if len(trav.Keys) == 0 {
+		t.Fatal("traversal should visit vertices")
+	}
+	if len(trav.Keys) > g.NumVertices() {
+		t.Fatal("traversal must not visit a vertex twice")
+	}
+	// BFS over a power-law graph has irregular access: expect visible branch
+	// and load activity.
+	if cnt.BranchInstrs == 0 || cnt.LoadInstrs == 0 {
+		t.Fatal("traversal should report branches and loads")
+	}
+	// Edge-list construction from keys.
+	keys, _ := datagen.KeyValues(9, 2000, 100000)
+	fromKeys, _ := runImpl(t, "graph_construction", &Dataset{Keys: keys})
+	if fromKeys.Graph == nil || fromKeys.Graph.NumEdges() == 0 {
+		t.Fatal("edge-list construction should produce edges")
+	}
+	// Traversal without a graph constructs one first.
+	travFromRecords, _ := runImpl(t, "graph_traversal", recordsInput(t, 400))
+	if travFromRecords.Graph == nil {
+		t.Fatal("traversal should build a graph when given raw records")
+	}
+	empty, _ := runImpl(t, "graph_traversal", &Dataset{Graph: &datagen.Graph{}})
+	if len(empty.Keys) != 0 {
+		t.Fatal("empty graph traversal should visit nothing")
+	}
+}
+
+func TestMD5HashProducesDigests(t *testing.T) {
+	in := recordsInput(t, 200)
+	out, cnt := runImpl(t, "md5_hash", in)
+	if len(out.Bytes) == 0 || len(out.Bytes)%16 != 0 {
+		t.Fatalf("digest stream length %d should be a multiple of 16", len(out.Bytes))
+	}
+	if cnt.IntInstrs == 0 {
+		t.Fatal("MD5 is integer/logic work")
+	}
+	if cnt.FloatInstrs != 0 {
+		t.Fatal("MD5 should not report floating point work")
+	}
+	empty, _ := runImpl(t, "md5_hash", &Dataset{})
+	if len(empty.Bytes) != 0 {
+		t.Fatal("empty input should hash to nothing")
+	}
+}
+
+func TestEncryptionRoundTrips(t *testing.T) {
+	in := recordsInput(t, 100)
+	out, _ := runImpl(t, "encryption", in)
+	if len(out.Bytes) != 100*datagen.RecordSize {
+		t.Fatalf("cipher length %d", len(out.Bytes))
+	}
+	plain := Decrypt(out.Bytes)
+	// The decrypted stream must equal the flattened input records.
+	var original []byte
+	for _, r := range in.Records {
+		original = append(original, r.Key[:]...)
+		original = append(original, r.Payload[:]...)
+	}
+	for i := range original {
+		if plain[i] != original[i] {
+			t.Fatalf("decryption mismatch at byte %d", i)
+		}
+	}
+	// Keys and words inputs are also accepted.
+	keys, _ := datagen.KeyValues(1, 100, 1000)
+	outK, _ := runImpl(t, "encryption", &Dataset{Keys: keys})
+	if len(outK.Bytes) != 800 {
+		t.Fatalf("key encryption length %d", len(outK.Bytes))
+	}
+	words := datagen.Words(1, 50, 10)
+	outW, _ := runImpl(t, "md5_hash", &Dataset{Words: words})
+	if len(outW.Bytes) == 0 {
+		t.Fatal("word hashing should produce digests")
+	}
+}
+
+func TestFFTAndIFFTRoundTrip(t *testing.T) {
+	// Direct FFT/IFFT round trip on a known signal.
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i%8), 0)
+	}
+	orig := append([]complex128(nil), x...)
+	FFT(x, false)
+	FFT(x, true)
+	for i := range x {
+		if d := real(x[i]) - real(orig[i]); d > 1e-9 || d < -1e-9 {
+			t.Fatalf("FFT/IFFT round trip mismatch at %d: %g vs %g", i, real(x[i]), real(orig[i]))
+		}
+	}
+	// Non-power-of-two inputs are left untouched rather than corrupted.
+	y := []complex128{1, 2, 3}
+	FFT(y, false)
+	if y[0] != 1 || y[1] != 2 || y[2] != 3 {
+		t.Fatal("non-power-of-two input should be left unchanged")
+	}
+}
+
+func TestTransformMotifs(t *testing.T) {
+	floats := make([]float64, 4096)
+	for i := range floats {
+		floats[i] = float64(i % 17)
+	}
+	fft, cnt := runImpl(t, "fft", &Dataset{Floats: floats})
+	if len(fft.Floats) != 4096 {
+		t.Fatalf("fft output length %d", len(fft.Floats))
+	}
+	if cnt.FloatInstrs == 0 {
+		t.Fatal("FFT is floating point work")
+	}
+	ifft, _ := runImpl(t, "ifft", &Dataset{Floats: floats})
+	if len(ifft.Floats) != 4096 {
+		t.Fatal("ifft output length wrong")
+	}
+	dct, _ := runImpl(t, "dct", &Dataset{Floats: floats})
+	if len(dct.Floats) != 4096 {
+		t.Fatal("dct output length wrong")
+	}
+	// DCT of a constant block concentrates energy in the DC coefficient.
+	constant := make([]float64, 8)
+	for i := range constant {
+		constant[i] = 2
+	}
+	dcOut, _ := runImpl(t, "dct", &Dataset{Floats: constant})
+	if dcOut.Floats[0] < 15.9 || dcOut.Floats[0] > 16.1 {
+		t.Fatalf("DC coefficient %g, want 16", dcOut.Floats[0])
+	}
+	for i := 1; i < 8; i++ {
+		if v := dcOut.Floats[i]; v > 1e-9 || v < -1e-9 {
+			t.Fatalf("AC coefficient %d = %g, want 0", i, v)
+		}
+	}
+	// Transforms accept keys and records too.
+	keys, _ := datagen.KeyValues(1, 512, 100)
+	fromKeys, _ := runImpl(t, "fft", &Dataset{Keys: keys})
+	if len(fromKeys.Floats) == 0 {
+		t.Fatal("fft from keys should produce output")
+	}
+	empty, _ := runImpl(t, "fft", &Dataset{})
+	if len(empty.Floats) != 0 {
+		t.Fatal("empty fft input should produce empty output")
+	}
+}
+
+func TestCountStatistics(t *testing.T) {
+	keys := []int64{1, 1, 2, 2, 2, 3}
+	values := []int64{10, 20, 1, 2, 3, 7}
+	out, cnt := runImpl(t, "count_statistics", &Dataset{Keys: keys, Values: values})
+	if len(out.Keys) != 3 {
+		t.Fatalf("expected 3 groups, got %d", len(out.Keys))
+	}
+	counts := map[int64]int64{}
+	avgs := map[int64]float64{}
+	for i, k := range out.Keys {
+		counts[k] = out.Values[i]
+		avgs[k] = out.Floats[i]
+	}
+	if counts[1] != 2 || counts[2] != 3 || counts[3] != 1 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+	if avgs[1] != 15 || avgs[2] != 2 || avgs[3] != 7 {
+		t.Fatalf("averages wrong: %v", avgs)
+	}
+	if cnt.BranchInstrs == 0 {
+		t.Fatal("group-by probing should branch")
+	}
+	// Records and vectors are reduced to keys first.
+	outR, _ := runImpl(t, "count_statistics", recordsInput(t, 300))
+	if len(outR.Keys) == 0 {
+		t.Fatal("record statistics should produce groups")
+	}
+	vecs, _ := datagen.GenerateVectors(datagen.VectorConfig{Seed: 2, Count: 50, Dim: 3})
+	outV, _ := runImpl(t, "count_statistics", &Dataset{Vectors: vecs})
+	if len(outV.Keys) == 0 {
+		t.Fatal("vector statistics should produce groups")
+	}
+}
+
+func TestProbabilityStatistics(t *testing.T) {
+	words := datagen.Words(11, 5000, 200)
+	out, _ := runImpl(t, "probability_statistics", &Dataset{Words: words})
+	if len(out.Words) == 0 || len(out.Floats) != len(out.Words) {
+		t.Fatal("probability output malformed")
+	}
+	var sum float64
+	for _, p := range out.Floats {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %g outside [0,1]", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %g, want 1", sum)
+	}
+	// Key input fallback.
+	keys, _ := datagen.KeyValues(2, 500, 26)
+	outK, _ := runImpl(t, "probability_statistics", &Dataset{Keys: keys})
+	if len(outK.Floats) == 0 {
+		t.Fatal("probability statistics over keys should work")
+	}
+}
+
+func TestMinMaxStatistics(t *testing.T) {
+	out, _ := runImpl(t, "minmax_statistics", &Dataset{Floats: []float64{3, -7, 12, 0.5}})
+	if len(out.Floats) != 3 {
+		t.Fatal("minmax should return min, max, avg")
+	}
+	if out.Floats[0] != -7 || out.Floats[1] != 12 {
+		t.Fatalf("min/max = %v", out.Floats[:2])
+	}
+	if diff := out.Floats[2] - 2.125; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("avg = %g", out.Floats[2])
+	}
+	empty, _ := runImpl(t, "minmax_statistics", &Dataset{})
+	if len(empty.Floats) != 0 {
+		t.Fatal("empty minmax should produce nothing")
+	}
+}
+
+func TestDegreeStatistics(t *testing.T) {
+	g, _ := datagen.GeneratePowerLawGraph(datagen.GraphConfig{Seed: 13, Vertices: 200, AvgDegree: 5})
+	out, _ := runImpl(t, "degree_statistics", &Dataset{Graph: g})
+	if len(out.Keys) != 200 || len(out.Values) != 200 {
+		t.Fatal("degree statistics should cover every vertex")
+	}
+	var inSum, outSum int64
+	for i := range out.Keys {
+		inSum += out.Keys[i]
+		outSum += out.Values[i]
+	}
+	if inSum != int64(g.NumEdges()) || outSum != int64(g.NumEdges()) {
+		t.Fatalf("degree sums %d/%d should equal edge count %d", inSum, outSum, g.NumEdges())
+	}
+	// Without a graph it degrades to count statistics.
+	keys := []int64{1, 1, 2}
+	fallback, _ := runImpl(t, "degree_statistics", &Dataset{Keys: keys, Values: []int64{1, 2, 3}})
+	if len(fallback.Keys) != 2 {
+		t.Fatal("degree statistics fallback should group keys")
+	}
+}
+
+func TestDatasetSizeAndRegion(t *testing.T) {
+	d := &Dataset{Keys: make([]int64, 10), Floats: make([]float64, 5), Bytes: make([]byte, 3)}
+	if d.SizeBytes() != 10*8+5*8+3 {
+		t.Fatalf("SizeBytes = %d", d.SizeBytes())
+	}
+	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	c.RunOnNode("region", 0, 1, func(ex *sim.Exec) {
+		r1 := d.Region(ex)
+		r2 := d.Region(ex)
+		if r1 != r2 {
+			t.Error("Region should be cached per dataset")
+		}
+		var empty Dataset
+		if empty.Region(ex).Size() == 0 {
+			t.Error("empty dataset region should still have non-zero size")
+		}
+	})
+}
+
+func TestInstructionMixDiffersAcrossMotifClasses(t *testing.T) {
+	// The whole point of motif diversity: a sort and a matrix multiplication
+	// must have clearly different instruction mixes.
+	in := recordsInput(t, 2000)
+	_, sortCnt := runImpl(t, "quicksort", in)
+	m, _ := datagen.GenerateMatrix(datagen.MatrixConfig{Seed: 3, Rows: 64, Cols: 64})
+	_, matCnt := runImpl(t, "matrix_multiplication", &Dataset{Matrix: m, Rows: 64, Cols: 64})
+
+	sortFloatShare := float64(sortCnt.FloatInstrs) / float64(sortCnt.Instructions())
+	matFloatShare := float64(matCnt.FloatInstrs) / float64(matCnt.Instructions())
+	if matFloatShare < 5*sortFloatShare {
+		t.Fatalf("matrix FP share %g should dwarf sort FP share %g", matFloatShare, sortFloatShare)
+	}
+}

@@ -1,0 +1,105 @@
+package motif
+
+import (
+	"math/rand"
+
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "random_sampling",
+		Class:       ClassSampling,
+		Description: "select a pseudo-random subset of the input records/keys/vectors",
+		Run:         runRandomSampling,
+	})
+	register(Impl{
+		Name:        "interval_sampling",
+		Class:       ClassSampling,
+		Description: "select every k-th element of the input (systematic sampling)",
+		Run:         runIntervalSampling,
+	})
+}
+
+// defaultSampleFraction is the fraction of the input retained by the
+// sampling motifs (TeraSort's partition sampler inspects roughly this share
+// of its input).
+const defaultSampleFraction = 0.1
+
+func runRandomSampling(ex *sim.Exec, in *Dataset) *Dataset {
+	rng := rand.New(rand.NewSource(0x5eed))
+	r := in.Region(ex)
+	out := &Dataset{}
+	switch {
+	case len(in.Records) > 0:
+		for i, rec := range in.Records {
+			ex.Touch(r, uint64(i)*datagen.RecordSize, false)
+			take := rng.Float64() < defaultSampleFraction
+			ex.Int(4)
+			ex.Branch(siteSample, take)
+			if take {
+				out.Records = append(out.Records, rec)
+			}
+		}
+		outR := out.Region(ex)
+		ex.Store(outR, 0, uint64(len(out.Records))*datagen.RecordSize)
+	case len(in.Vectors) > 0:
+		for i, v := range in.Vectors {
+			ex.Touch(r, uint64(i*len(v))*8, false)
+			take := rng.Float64() < defaultSampleFraction
+			ex.Int(4)
+			ex.Branch(siteSample, take)
+			if take {
+				out.Vectors = append(out.Vectors, v)
+			}
+		}
+	default:
+		for i, k := range in.Keys {
+			ex.Touch(r, uint64(i)*8, false)
+			take := rng.Float64() < defaultSampleFraction
+			ex.Int(4)
+			ex.Branch(siteSample, take)
+			if take {
+				out.Keys = append(out.Keys, k)
+				if i < len(in.Values) {
+					out.Values = append(out.Values, in.Values[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runIntervalSampling(ex *sim.Exec, in *Dataset) *Dataset {
+	interval := int(1 / defaultSampleFraction)
+	r := in.Region(ex)
+	out := &Dataset{}
+	switch {
+	case len(in.Records) > 0:
+		for i := 0; i < len(in.Records); i += interval {
+			ex.Touch(r, uint64(i)*datagen.RecordSize, false)
+			ex.Int(2)
+			ex.Branch(siteSample, true)
+			out.Records = append(out.Records, in.Records[i])
+		}
+		outR := out.Region(ex)
+		ex.Store(outR, 0, uint64(len(out.Records))*datagen.RecordSize)
+	case len(in.Vectors) > 0:
+		for i := 0; i < len(in.Vectors); i += interval {
+			ex.Touch(r, uint64(i*len(in.Vectors[i]))*8, false)
+			ex.Int(2)
+			out.Vectors = append(out.Vectors, in.Vectors[i])
+		}
+	default:
+		for i := 0; i < len(in.Keys); i += interval {
+			ex.Touch(r, uint64(i)*8, false)
+			ex.Int(2)
+			out.Keys = append(out.Keys, in.Keys[i])
+			if i < len(in.Values) {
+				out.Values = append(out.Values, in.Values[i])
+			}
+		}
+	}
+	return out
+}

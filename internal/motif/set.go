@@ -1,0 +1,115 @@
+package motif
+
+import (
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "set_union",
+		Class:       ClassSet,
+		Description: "union of two key collections via hash probing",
+		Run:         runSetUnion,
+	})
+	register(Impl{
+		Name:        "set_intersection",
+		Class:       ClassSet,
+		Description: "intersection of two key collections via hash probing",
+		Run:         runSetIntersection,
+	})
+	register(Impl{
+		Name:        "set_difference",
+		Class:       ClassSet,
+		Description: "difference of two key collections via hash probing",
+		Run:         runSetDifference,
+	})
+}
+
+// splitKeys partitions the input keys into two collections for the binary
+// set operations; when the dataset holds records their key prefixes are
+// hashed into integer keys first.
+func splitKeys(ex *sim.Exec, in *Dataset) ([]int64, []int64) {
+	keys := in.Keys
+	if len(keys) == 0 && len(in.Records) > 0 {
+		r := in.Region(ex)
+		keys = make([]int64, len(in.Records))
+		for i, rec := range in.Records {
+			ex.Touch(r, uint64(i)*100, false)
+			var h int64
+			for _, b := range rec.Key {
+				h = h*131 + int64(b)
+			}
+			ex.Int(20)
+			keys[i] = h
+		}
+	}
+	mid := len(keys) / 2
+	return keys[:mid], keys[mid:]
+}
+
+func buildSet(ex *sim.Exec, keys []int64) (map[int64]struct{}, sim.Region) {
+	set := make(map[int64]struct{}, len(keys))
+	region := ex.Node().Alloc(uint64(len(keys))*16 + 64)
+	for i, k := range keys {
+		ex.Touch(region, uint64(i)*16, true)
+		ex.Int(6) // hash + insert bookkeeping
+		ex.Branch(siteHash, i%2 == 0)
+		set[k] = struct{}{}
+	}
+	return set, region
+}
+
+func runSetUnion(ex *sim.Exec, in *Dataset) *Dataset {
+	a, b := splitKeys(ex, in)
+	set, region := buildSet(ex, a)
+	for i, k := range b {
+		_, exists := set[k]
+		ex.Touch(region, uint64(i)*16, false)
+		ex.Int(6)
+		ex.Branch(siteSetProbe, exists)
+		if !exists {
+			set[k] = struct{}{}
+			ex.Touch(region, uint64(i)*16, true)
+		}
+	}
+	out := &Dataset{Keys: make([]int64, 0, len(set))}
+	for k := range set {
+		out.Keys = append(out.Keys, k)
+	}
+	ex.Store(out.Region(ex), 0, uint64(len(out.Keys))*8)
+	return out
+}
+
+func runSetIntersection(ex *sim.Exec, in *Dataset) *Dataset {
+	a, b := splitKeys(ex, in)
+	set, region := buildSet(ex, a)
+	out := &Dataset{}
+	for i, k := range b {
+		_, exists := set[k]
+		ex.Touch(region, uint64(i)*16, false)
+		ex.Int(6)
+		ex.Branch(siteSetProbe, exists)
+		if exists {
+			out.Keys = append(out.Keys, k)
+		}
+	}
+	ex.Store(out.Region(ex), 0, uint64(len(out.Keys))*8)
+	return out
+}
+
+func runSetDifference(ex *sim.Exec, in *Dataset) *Dataset {
+	a, b := splitKeys(ex, in)
+	set, region := buildSet(ex, b)
+	out := &Dataset{}
+	for i, k := range a {
+		_, exists := set[k]
+		ex.Touch(region, uint64(i)*16, false)
+		ex.Int(6)
+		ex.Branch(siteSetProbe, exists)
+		if !exists {
+			out.Keys = append(out.Keys, k)
+		}
+	}
+	ex.Store(out.Region(ex), 0, uint64(len(out.Keys))*8)
+	return out
+}

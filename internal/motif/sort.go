@@ -1,0 +1,249 @@
+package motif
+
+import (
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "quicksort",
+		Class:       ClassSort,
+		Description: "in-place quicksort of gensort records (or integer keys) by key",
+		Run:         runQuicksort,
+	})
+	register(Impl{
+		Name:        "mergesort",
+		Class:       ClassSort,
+		Description: "bottom-up merge sort of gensort records (or integer keys) by key",
+		Run:         runMergesort,
+	})
+}
+
+// runQuicksort sorts the input records (or keys) with a hand-written
+// quicksort so that every comparison, swap and partition branch is visible
+// to the performance model.
+func runQuicksort(ex *sim.Exec, in *Dataset) *Dataset {
+	if len(in.Records) > 0 {
+		recs := append([]datagen.Record(nil), in.Records...)
+		out := &Dataset{Records: recs}
+		r := out.Region(ex)
+		quicksortRecords(ex, r, recs, 0, len(recs)-1, 0)
+		return out
+	}
+	keys := append([]int64(nil), in.Keys...)
+	out := &Dataset{Keys: keys, Values: append([]int64(nil), in.Values...)}
+	r := out.Region(ex)
+	quicksortKeys(ex, r, keys, 0, len(keys)-1, 0)
+	return out
+}
+
+func quicksortRecords(ex *sim.Exec, r sim.Region, recs []datagen.Record, lo, hi, depth int) {
+	for lo < hi {
+		if depth > 64 {
+			// Degenerate input: fall back to insertion-style scan to bound
+			// recursion (still counted).
+			insertionRecords(ex, r, recs, lo, hi)
+			return
+		}
+		p := partitionRecords(ex, r, recs, lo, hi)
+		// Recurse into the smaller half first to bound stack depth.
+		if p-lo < hi-p {
+			quicksortRecords(ex, r, recs, lo, p-1, depth+1)
+			lo = p + 1
+		} else {
+			quicksortRecords(ex, r, recs, p+1, hi, depth+1)
+			hi = p - 1
+		}
+	}
+}
+
+func partitionRecords(ex *sim.Exec, r sim.Region, recs []datagen.Record, lo, hi int) int {
+	pivot := recs[hi]
+	ex.Load(r, uint64(hi)*datagen.RecordSize, datagen.RecordKeySize)
+	i := lo - 1
+	for j := lo; j < hi; j++ {
+		ex.Touch(r, uint64(j)*datagen.RecordSize, false)
+		less := recs[j].Less(pivot)
+		ex.Int(10) // key byte comparisons
+		ex.Branch(sitePartition, less)
+		if less {
+			i++
+			recs[i], recs[j] = recs[j], recs[i]
+			ex.Load(r, uint64(j)*datagen.RecordSize, datagen.RecordSize)
+			ex.Touch(r, uint64(i)*datagen.RecordSize, true)
+		}
+	}
+	recs[i+1], recs[hi] = recs[hi], recs[i+1]
+	ex.Touch(r, uint64(i+1)*datagen.RecordSize, true)
+	return i + 1
+}
+
+func insertionRecords(ex *sim.Exec, r sim.Region, recs []datagen.Record, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		j := i
+		for j > lo {
+			ex.Touch(r, uint64(j)*datagen.RecordSize, false)
+			less := recs[j].Less(recs[j-1])
+			ex.Int(10)
+			ex.Branch(siteCompare, less)
+			if !less {
+				break
+			}
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+			ex.Touch(r, uint64(j)*datagen.RecordSize, true)
+			j--
+		}
+	}
+}
+
+func quicksortKeys(ex *sim.Exec, r sim.Region, keys []int64, lo, hi, depth int) {
+	for lo < hi {
+		pivot := keys[hi]
+		ex.Touch(r, uint64(hi)*8, false)
+		i := lo - 1
+		for j := lo; j < hi; j++ {
+			ex.Touch(r, uint64(j)*8, false)
+			less := keys[j] < pivot
+			ex.Int(2)
+			ex.Branch(sitePartition, less)
+			if less {
+				i++
+				keys[i], keys[j] = keys[j], keys[i]
+				ex.Store(r, uint64(i)*8, 8)
+			}
+		}
+		keys[i+1], keys[hi] = keys[hi], keys[i+1]
+		p := i + 1
+		if p-lo < hi-p {
+			quicksortKeys(ex, r, keys, lo, p-1, depth+1)
+			lo = p + 1
+		} else {
+			quicksortKeys(ex, r, keys, p+1, hi, depth+1)
+			hi = p - 1
+		}
+	}
+}
+
+// runMergesort performs a bottom-up merge sort, which has the streaming,
+// sequential access pattern that distinguishes it from quicksort's
+// partition-heavy behaviour.
+func runMergesort(ex *sim.Exec, in *Dataset) *Dataset {
+	if len(in.Records) > 0 {
+		recs := append([]datagen.Record(nil), in.Records...)
+		out := &Dataset{Records: recs}
+		r := out.Region(ex)
+		buf := make([]datagen.Record, len(recs))
+		bufRegion := ex.Node().Alloc(uint64(len(recs)) * datagen.RecordSize)
+		for width := 1; width < len(recs); width *= 2 {
+			for lo := 0; lo < len(recs); lo += 2 * width {
+				mid := min(lo+width, len(recs))
+				hi := min(lo+2*width, len(recs))
+				mergeRecords(ex, r, bufRegion, recs, buf, lo, mid, hi)
+			}
+			copy(recs, buf)
+			ex.Load(bufRegion, 0, uint64(len(recs))*datagen.RecordSize)
+			ex.Store(r, 0, uint64(len(recs))*datagen.RecordSize)
+		}
+		return out
+	}
+	keys := append([]int64(nil), in.Keys...)
+	out := &Dataset{Keys: keys, Values: append([]int64(nil), in.Values...)}
+	r := out.Region(ex)
+	buf := make([]int64, len(keys))
+	bufRegion := ex.Node().Alloc(uint64(len(keys)) * 8)
+	for width := 1; width < len(keys); width *= 2 {
+		for lo := 0; lo < len(keys); lo += 2 * width {
+			mid := min(lo+width, len(keys))
+			hi := min(lo+2*width, len(keys))
+			mergeKeys(ex, r, bufRegion, keys, buf, lo, mid, hi)
+		}
+		copy(keys, buf)
+		ex.Load(bufRegion, 0, uint64(len(keys))*8)
+		ex.Store(r, 0, uint64(len(keys))*8)
+	}
+	return out
+}
+
+func mergeRecords(ex *sim.Exec, src, dst sim.Region, recs, buf []datagen.Record, lo, mid, hi int) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		var takeLeft bool
+		switch {
+		case i >= mid:
+			takeLeft = false
+		case j >= hi:
+			takeLeft = true
+		default:
+			takeLeft = !recs[j].Less(recs[i])
+			ex.Int(10)
+		}
+		ex.Branch(siteMerge, takeLeft)
+		if takeLeft {
+			buf[k] = recs[i]
+			ex.Load(src, uint64(i)*datagen.RecordSize, datagen.RecordSize)
+			i++
+		} else {
+			buf[k] = recs[j]
+			ex.Load(src, uint64(j)*datagen.RecordSize, datagen.RecordSize)
+			j++
+		}
+		ex.Touch(dst, uint64(k)*datagen.RecordSize, true)
+	}
+}
+
+func mergeKeys(ex *sim.Exec, src, dst sim.Region, keys, buf []int64, lo, mid, hi int) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		var takeLeft bool
+		switch {
+		case i >= mid:
+			takeLeft = false
+		case j >= hi:
+			takeLeft = true
+		default:
+			takeLeft = keys[i] <= keys[j]
+			ex.Int(2)
+		}
+		ex.Branch(siteMerge, takeLeft)
+		if takeLeft {
+			buf[k] = keys[i]
+			ex.Touch(src, uint64(i)*8, false)
+			i++
+		} else {
+			buf[k] = keys[j]
+			ex.Touch(src, uint64(j)*8, false)
+			j++
+		}
+		ex.Store(dst, uint64(k)*8, 8)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RecordsSorted reports whether records are in non-decreasing key order; it
+// is used by tests and examples to verify the sort motifs compute real
+// results.
+func RecordsSorted(recs []datagen.Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Less(recs[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeysSorted reports whether keys are in non-decreasing order.
+func KeysSorted(keys []int64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package motif
+
+import (
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "count_statistics",
+		Class:       ClassStatistics,
+		Description: "group-by-key count and average aggregation",
+		Run:         runCountStatistics,
+	})
+	register(Impl{
+		Name:        "probability_statistics",
+		Class:       ClassStatistics,
+		Description: "term-frequency probability estimation over words/keys",
+		Run:         runProbabilityStatistics,
+	})
+	register(Impl{
+		Name:        "minmax_statistics",
+		Class:       ClassStatistics,
+		Description: "minimum / maximum scan over the numeric input",
+		Run:         runMinMaxStatistics,
+	})
+	register(Impl{
+		Name:        "degree_statistics",
+		Class:       ClassStatistics,
+		Description: "per-vertex in/out degree counting over a graph",
+		Run:         runDegreeStatistics,
+	})
+}
+
+func runCountStatistics(ex *sim.Exec, in *Dataset) *Dataset {
+	keys, values := in.Keys, in.Values
+	if len(keys) == 0 && len(in.Records) > 0 {
+		r := in.Region(ex)
+		keys = make([]int64, len(in.Records))
+		values = make([]int64, len(in.Records))
+		for i, rec := range in.Records {
+			ex.Touch(r, uint64(i)*datagen.RecordSize, false)
+			keys[i] = int64(rec.Key[0])
+			values[i] = int64(rec.Payload[0])
+			ex.Int(3)
+		}
+	}
+	if len(keys) == 0 && len(in.Vectors) > 0 {
+		// Cluster-count statistics over vector assignments: use the first
+		// component bucketed as the key.
+		r := in.Region(ex)
+		keys = make([]int64, len(in.Vectors))
+		values = make([]int64, len(in.Vectors))
+		for i, v := range in.Vectors {
+			ex.Touch(r, uint64(i*len(v))*8, false)
+			if len(v) > 0 {
+				keys[i] = int64(v[0]*4) % 64
+			}
+			values[i] = int64(i)
+			ex.Int(4)
+		}
+	}
+	r := in.Region(ex)
+	type agg struct {
+		count int64
+		sum   int64
+	}
+	groups := make(map[int64]*agg)
+	table := ex.Node().Alloc(64 * 1024)
+	for i, k := range keys {
+		ex.Touch(r, uint64(i)*8, false)
+		g, ok := groups[k]
+		ex.Touch(table, uint64(uint64(k)%4096)*16, false)
+		ex.Int(5)
+		ex.Branch(siteStats, ok)
+		if !ok {
+			g = &agg{}
+			groups[k] = g
+		}
+		g.count++
+		if i < len(values) {
+			g.sum += values[i]
+		}
+		ex.Touch(table, uint64(uint64(k)%4096)*16, true)
+	}
+	out := &Dataset{}
+	for k, g := range groups {
+		out.Keys = append(out.Keys, k)
+		avg := float64(0)
+		if g.count > 0 {
+			avg = float64(g.sum) / float64(g.count)
+		}
+		out.Values = append(out.Values, g.count)
+		out.Floats = append(out.Floats, avg)
+		ex.Float(2)
+	}
+	ex.Store(out.Region(ex), 0, uint64(len(out.Keys))*24)
+	return out
+}
+
+func runProbabilityStatistics(ex *sim.Exec, in *Dataset) *Dataset {
+	words := in.Words
+	r := in.Region(ex)
+	freq := make(map[string]int64)
+	table := ex.Node().Alloc(256 * 1024)
+	if len(words) > 0 {
+		for i, w := range words {
+			ex.Touch(r, uint64(i)*16, false)
+			_, seen := freq[w]
+			ex.Touch(table, uint64(hashString(w)%16384)*16, true)
+			ex.Int(8)
+			ex.Branch(siteStats, seen)
+			freq[w]++
+		}
+	} else {
+		for i, k := range in.Keys {
+			ex.Touch(r, uint64(i)*8, false)
+			key := string(rune('a' + k%26))
+			ex.Int(6)
+			ex.Branch(siteStats, freq[key] > 0)
+			freq[key]++
+		}
+	}
+	total := float64(0)
+	for _, c := range freq {
+		total += float64(c)
+	}
+	out := &Dataset{}
+	for w, c := range freq {
+		out.Words = append(out.Words, w)
+		p := 0.0
+		if total > 0 {
+			p = float64(c) / total
+		}
+		out.Floats = append(out.Floats, p)
+		ex.Float(1)
+	}
+	ex.Store(out.Region(ex), 0, uint64(len(out.Words))*24)
+	return out
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func runMinMaxStatistics(ex *sim.Exec, in *Dataset) *Dataset {
+	values := floatsFrom(in)
+	if len(values) == 0 {
+		return &Dataset{}
+	}
+	r := in.Region(ex)
+	minV, maxV := values[0], values[0]
+	var sum float64
+	for i, v := range values {
+		ex.Touch(r, uint64(i)*8, false)
+		lower := v < minV
+		ex.Branch(siteStats, lower)
+		if lower {
+			minV = v
+		}
+		higher := v > maxV
+		ex.Branch(siteStats, higher)
+		if higher {
+			maxV = v
+		}
+		sum += v
+		ex.Float(1)
+		ex.Int(2)
+	}
+	avg := sum / float64(len(values))
+	return &Dataset{Floats: []float64{minV, maxV, avg}}
+}
+
+func runDegreeStatistics(ex *sim.Exec, in *Dataset) *Dataset {
+	g := in.Graph
+	if g == nil {
+		return runCountStatistics(ex, in)
+	}
+	r := in.Region(ex)
+	n := g.NumVertices()
+	in_ := make([]int64, n)
+	out_ := make([]int64, n)
+	degRegion := ex.Node().Alloc(uint64(n) * 16)
+	for v := 0; v < n; v++ {
+		ex.Touch(r, uint64(v)*24, false)
+		out_[v] = int64(g.OutDegree(v))
+		ex.Int(2)
+		for _, w := range g.Adj[v] {
+			ex.Touch(r, uint64(w)*4, false)
+			in_[w]++
+			ex.Touch(degRegion, uint64(w)*8, true)
+			ex.Int(2)
+			ex.Branch(siteStats, in_[w] > 1)
+		}
+	}
+	out := &Dataset{Keys: in_, Values: out_}
+	ex.Store(out.Region(ex), 0, uint64(n)*16)
+	return out
+}

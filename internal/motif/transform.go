@@ -1,0 +1,174 @@
+package motif
+
+import (
+	"math"
+	"math/cmplx"
+
+	"dataproxy/internal/sim"
+)
+
+func init() {
+	register(Impl{
+		Name:        "fft",
+		Class:       ClassTransform,
+		Description: "radix-2 fast Fourier transform over blocks of the numeric input",
+		Run:         runFFT,
+	})
+	register(Impl{
+		Name:        "ifft",
+		Class:       ClassTransform,
+		Description: "inverse FFT over blocks of the numeric input",
+		Run:         runIFFT,
+	})
+	register(Impl{
+		Name:        "dct",
+		Class:       ClassTransform,
+		Description: "8-point block discrete cosine transform (DCT-II)",
+		Run:         runDCT,
+	})
+}
+
+// floatsFrom flattens the dataset into a float64 signal for the transform
+// motifs.
+func floatsFrom(in *Dataset) []float64 {
+	if len(in.Floats) > 0 {
+		return in.Floats
+	}
+	if len(in.Matrix) > 0 {
+		return in.Matrix
+	}
+	if len(in.Vectors) > 0 {
+		var f []float64
+		for _, v := range in.Vectors {
+			f = append(f, v...)
+		}
+		return f
+	}
+	if len(in.Keys) > 0 {
+		f := make([]float64, len(in.Keys))
+		for i, k := range in.Keys {
+			f[i] = float64(k)
+		}
+		return f
+	}
+	if len(in.Records) > 0 {
+		f := make([]float64, len(in.Records))
+		for i, r := range in.Records {
+			f[i] = float64(r.Key[0])*256 + float64(r.Key[1])
+		}
+		return f
+	}
+	return nil
+}
+
+// fftBlockSize is the power-of-two block length the FFT motifs operate on.
+const fftBlockSize = 1024
+
+// FFT computes an in-place radix-2 Cooley-Tukey FFT of x (len must be a
+// power of two).  inverse selects the inverse transform.  It is exported for
+// tests and for reuse by the transform-heavy AI substrate.
+func FFT(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 || n&(n-1) != 0 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -2.0
+	if inverse {
+		sign = 2.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		for i := range x {
+			x[i] /= complex(float64(n), 0)
+		}
+	}
+}
+
+func runFFTCommon(ex *sim.Exec, in *Dataset, inverse bool) *Dataset {
+	signal := floatsFrom(in)
+	if len(signal) == 0 {
+		return &Dataset{}
+	}
+	r := in.Region(ex)
+	out := &Dataset{Floats: make([]float64, 0, len(signal))}
+	ro := out.Region(ex)
+	block := make([]complex128, fftBlockSize)
+	logN := uint64(math.Log2(fftBlockSize))
+	for off := 0; off < len(signal); off += fftBlockSize {
+		for i := 0; i < fftBlockSize; i++ {
+			if off+i < len(signal) {
+				block[i] = complex(signal[off+i], 0)
+			} else {
+				block[i] = 0
+			}
+		}
+		FFT(block, inverse)
+		for i := 0; i < fftBlockSize && off+i < len(signal); i++ {
+			out.Floats = append(out.Floats, real(block[i]))
+		}
+		// N log N butterflies, ~10 FP ops each; the strided butterfly access
+		// pattern is reported at line granularity.
+		ex.Load(r, uint64(off)*8, uint64(fftBlockSize)*8)
+		ex.Float(uint64(fftBlockSize) * logN * 10)
+		ex.Int(uint64(fftBlockSize) * logN)
+		for s := 0; s < fftBlockSize; s += 64 {
+			ex.Touch(ro, uint64((off+s))*8, true)
+		}
+		ex.Branch(siteTransform, off%2048 == 0)
+		ex.Store(ro, uint64(off)*8, uint64(fftBlockSize)*8)
+	}
+	return out
+}
+
+func runFFT(ex *sim.Exec, in *Dataset) *Dataset  { return runFFTCommon(ex, in, false) }
+func runIFFT(ex *sim.Exec, in *Dataset) *Dataset { return runFFTCommon(ex, in, true) }
+
+func runDCT(ex *sim.Exec, in *Dataset) *Dataset {
+	signal := floatsFrom(in)
+	if len(signal) == 0 {
+		return &Dataset{}
+	}
+	const n = 8
+	r := in.Region(ex)
+	out := &Dataset{Floats: make([]float64, len(signal))}
+	ro := out.Region(ex)
+	for off := 0; off+n <= len(signal); off += n {
+		for k := 0; k < n; k++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += signal[off+i] * math.Cos(math.Pi/float64(n)*(float64(i)+0.5)*float64(k))
+			}
+			out.Floats[off+k] = sum
+		}
+		ex.Load(r, uint64(off)*8, n*8)
+		ex.Store(ro, uint64(off)*8, n*8)
+		ex.Float(n * n * 4)
+		ex.Int(n)
+		ex.Branch(siteTransform, off%128 == 0)
+	}
+	return out
+}

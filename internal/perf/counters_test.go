@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersInstructions(t *testing.T) {
+	c := Counters{LoadInstrs: 10, StoreInstrs: 5, IntInstrs: 20, FloatInstrs: 3, BranchInstrs: 2}
+	if got, want := c.Instructions(), uint64(40); got != want {
+		t.Fatalf("Instructions() = %d, want %d", got, want)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{LoadInstrs: 1, Cycles: 10, L1DAccesses: 4, L1DMisses: 1, MemReadBytes: 100, DiskWriteBytes: 7, NetSentBytes: 3}
+	b := Counters{LoadInstrs: 2, Cycles: 5, L1DAccesses: 6, L1DMisses: 2, MemReadBytes: 50, DiskWriteBytes: 3, NetSentBytes: 4}
+	a.Add(b)
+	if a.LoadInstrs != 3 || a.Cycles != 15 || a.L1DAccesses != 10 || a.L1DMisses != 3 {
+		t.Fatalf("Add produced unexpected counters: %+v", a)
+	}
+	if a.MemReadBytes != 150 || a.DiskWriteBytes != 10 || a.NetSentBytes != 7 {
+		t.Fatalf("Add produced unexpected byte counters: %+v", a)
+	}
+}
+
+func TestCountersScale(t *testing.T) {
+	c := Counters{LoadInstrs: 100, Cycles: 1000, MemReadBytes: 4096, DiskReadBytes: 512, BranchInstrs: 10, BranchMisses: 2}
+	c.Scale(2.5)
+	if c.LoadInstrs != 250 || c.Cycles != 2500 || c.MemReadBytes != 10240 || c.DiskReadBytes != 1280 {
+		t.Fatalf("Scale(2.5) produced %+v", c)
+	}
+	if c.BranchInstrs != 25 || c.BranchMisses != 5 {
+		t.Fatalf("Scale(2.5) branch counters = %d/%d", c.BranchInstrs, c.BranchMisses)
+	}
+}
+
+func TestCountersScaleNegativeClampsToZero(t *testing.T) {
+	c := Counters{LoadInstrs: 100, Cycles: 10}
+	c.Scale(-1)
+	if !c.IsZero() {
+		t.Fatalf("Scale(-1) should zero all counters, got %+v", c)
+	}
+}
+
+func TestCountersValidate(t *testing.T) {
+	good := Counters{L1DAccesses: 10, L1DMisses: 3, BranchInstrs: 5, BranchMisses: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate() on consistent counters returned %v", err)
+	}
+	bad := Counters{L2Accesses: 2, L2Misses: 5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate() should reject misses > accesses")
+	}
+	badBranch := Counters{BranchInstrs: 1, BranchMisses: 2}
+	if err := badBranch.Validate(); err == nil {
+		t.Fatal("Validate() should reject branch misses > branch instructions")
+	}
+}
+
+func TestCountersIsZero(t *testing.T) {
+	var c Counters
+	if !c.IsZero() {
+		t.Fatal("zero-value Counters should report IsZero")
+	}
+	c.IntInstrs = 1
+	if c.IsZero() {
+		t.Fatal("non-empty Counters should not report IsZero")
+	}
+}
+
+func TestCountersStringMentionsInstructions(t *testing.T) {
+	c := Counters{IntInstrs: 42, Cycles: 7}
+	s := c.String()
+	if s == "" {
+		t.Fatal("String() should not be empty")
+	}
+}
+
+// Property: Add is commutative with respect to the resulting totals.
+func TestCountersAddCommutativeProperty(t *testing.T) {
+	f := func(a, b Counters) bool {
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling by 1 is the identity (modulo float rounding of huge
+// values, so restrict the generated magnitudes).
+func TestCountersScaleIdentityProperty(t *testing.T) {
+	f := func(a Counters) bool {
+		limited := a
+		limit := func(v uint64) uint64 { return v % (1 << 40) }
+		limited.LoadInstrs = limit(a.LoadInstrs)
+		limited.StoreInstrs = limit(a.StoreInstrs)
+		limited.IntInstrs = limit(a.IntInstrs)
+		limited.FloatInstrs = limit(a.FloatInstrs)
+		limited.BranchInstrs = limit(a.BranchInstrs)
+		limited.Cycles = limit(a.Cycles)
+		limited.BranchMisses = limit(a.BranchMisses)
+		limited.L1IAccesses = limit(a.L1IAccesses)
+		limited.L1IMisses = limit(a.L1IMisses)
+		limited.L1DAccesses = limit(a.L1DAccesses)
+		limited.L1DMisses = limit(a.L1DMisses)
+		limited.L2Accesses = limit(a.L2Accesses)
+		limited.L2Misses = limit(a.L2Misses)
+		limited.L3Accesses = limit(a.L3Accesses)
+		limited.L3Misses = limit(a.L3Misses)
+		limited.MemReadBytes = limit(a.MemReadBytes)
+		limited.MemWriteBytes = limit(a.MemWriteBytes)
+		limited.DiskReadBytes = limit(a.DiskReadBytes)
+		limited.DiskWriteBytes = limit(a.DiskWriteBytes)
+		limited.NetSentBytes = limit(a.NetSentBytes)
+		limited.NetRecvBytes = limit(a.NetRecvBytes)
+		scaled := limited
+		scaled.Scale(1)
+		return scaled == limited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskIOBandwidthEquation2(t *testing.T) {
+	// 1024 bytes read + 512 bytes written over 2 seconds = 3 sectors * 512 / 2.
+	bw := DiskIOBandwidth(1024, 512, 2)
+	want := 3.0 * 512 / 2
+	if math.Abs(bw-want) > 1e-9 {
+		t.Fatalf("DiskIOBandwidth = %g, want %g", bw, want)
+	}
+	if DiskIOBandwidth(100, 100, 0) != 0 {
+		t.Fatal("DiskIOBandwidth with zero runtime should be 0")
+	}
+	// Partial sectors round up.
+	bw = DiskIOBandwidth(1, 0, 1)
+	if bw != 512 {
+		t.Fatalf("partial sector should round up to 512 B/s, got %g", bw)
+	}
+}

@@ -1,0 +1,284 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Metrics is the metric vector M of the paper (Table V): the system-level
+// and micro-architectural performance data used both to characterise a
+// workload and to evaluate the accuracy of a proxy benchmark against it.
+type Metrics struct {
+	// System metrics.
+	Runtime float64 // virtual execution time in seconds
+	ReadBW  float64 // memory read bandwidth, bytes/second
+	WriteBW float64 // memory write bandwidth, bytes/second
+	MemBW   float64 // total memory bandwidth, bytes/second
+	DiskBW  float64 // disk I/O bandwidth, bytes/second (Equation 2)
+
+	// Processor performance.
+	IPC  float64 // instructions per cycle
+	MIPS float64 // million instructions per second
+
+	// Instruction mix (fractions of total instructions, each in [0,1]).
+	LoadRatio   float64
+	StoreRatio  float64
+	BranchRatio float64
+	IntRatio    float64
+	FloatRatio  float64
+
+	// Branch prediction.
+	BranchMissRatio float64
+
+	// Cache behaviour (hit ratios in [0,1]).
+	L1IHit float64
+	L1DHit float64
+	L2Hit  float64
+	L3Hit  float64
+}
+
+// MetricNames lists the canonical metric names in the order used by
+// Metrics.Vector.  The set matches Table V of the paper.
+var MetricNames = []string{
+	"runtime",
+	"IPC",
+	"MIPS",
+	"load_ratio",
+	"store_ratio",
+	"branch_ratio",
+	"int_ratio",
+	"float_ratio",
+	"branch_miss",
+	"L1I_hit",
+	"L1D_hit",
+	"L2_hit",
+	"L3_hit",
+	"read_bw",
+	"write_bw",
+	"mem_bw",
+	"disk_io_bw",
+}
+
+// Vector returns the metric values in the order of MetricNames.
+func (m Metrics) Vector() []float64 {
+	return []float64{
+		m.Runtime,
+		m.IPC,
+		m.MIPS,
+		m.LoadRatio,
+		m.StoreRatio,
+		m.BranchRatio,
+		m.IntRatio,
+		m.FloatRatio,
+		m.BranchMissRatio,
+		m.L1IHit,
+		m.L1DHit,
+		m.L2Hit,
+		m.L3Hit,
+		m.ReadBW,
+		m.WriteBW,
+		m.MemBW,
+		m.DiskBW,
+	}
+}
+
+// Get returns the metric value by canonical name.  It panics on an unknown
+// name, which indicates a programming error rather than a runtime condition.
+func (m Metrics) Get(name string) float64 {
+	v := m.Vector()
+	for i, n := range MetricNames {
+		if n == name {
+			return v[i]
+		}
+	}
+	panic(fmt.Sprintf("perf: unknown metric %q", name))
+}
+
+// FromCounters derives the metric vector from raw counters and the virtual
+// runtime of the observed execution in seconds.  A zero runtime yields zero
+// rate metrics rather than NaN so that callers can treat an empty execution
+// as a valid (if uninteresting) measurement.
+func FromCounters(c Counters, runtime float64) Metrics {
+	m := Metrics{Runtime: runtime}
+	instr := float64(c.Instructions())
+	if c.Cycles > 0 {
+		m.IPC = instr / float64(c.Cycles)
+	}
+	if runtime > 0 {
+		m.MIPS = instr / runtime / 1e6
+		m.ReadBW = float64(c.MemReadBytes) / runtime
+		m.WriteBW = float64(c.MemWriteBytes) / runtime
+		m.MemBW = m.ReadBW + m.WriteBW
+		m.DiskBW = DiskIOBandwidth(c.DiskReadBytes, c.DiskWriteBytes, runtime)
+	}
+	if instr > 0 {
+		m.LoadRatio = float64(c.LoadInstrs) / instr
+		m.StoreRatio = float64(c.StoreInstrs) / instr
+		m.BranchRatio = float64(c.BranchInstrs) / instr
+		m.IntRatio = float64(c.IntInstrs) / instr
+		m.FloatRatio = float64(c.FloatInstrs) / instr
+	}
+	if c.BranchInstrs > 0 {
+		m.BranchMissRatio = float64(c.BranchMisses) / float64(c.BranchInstrs)
+	}
+	m.L1IHit = hitRatio(c.L1IAccesses, c.L1IMisses)
+	m.L1DHit = hitRatio(c.L1DAccesses, c.L1DMisses)
+	m.L2Hit = hitRatio(c.L2Accesses, c.L2Misses)
+	m.L3Hit = hitRatio(c.L3Accesses, c.L3Misses)
+	return m
+}
+
+func hitRatio(accesses, misses uint64) float64 {
+	if accesses == 0 {
+		return 1
+	}
+	return 1 - float64(misses)/float64(accesses)
+}
+
+// DiskIOBandwidth implements Equation 2 of the paper:
+//
+//	BW = (sectorReads + sectorWrites) * sectorSize / runtime
+//
+// The byte counts are rounded up to whole sectors before the computation.
+func DiskIOBandwidth(readBytes, writeBytes uint64, runtime float64) float64 {
+	if runtime <= 0 {
+		return 0
+	}
+	sectors := (readBytes+SectorSize-1)/SectorSize + (writeBytes+SectorSize-1)/SectorSize
+	return float64(sectors) * SectorSize / runtime
+}
+
+// Accuracy implements Equation 3 of the paper:
+//
+//	Accuracy(valR, valP) = 1 - |valP - valR| / valR
+//
+// valR is the value measured on the real workload and valP the value
+// measured on the proxy benchmark.  When the real value is zero the result
+// is 1 if the proxy value is also (near) zero and 0 otherwise.  The result
+// is clamped to [0, 1]: deviations larger than 100% count as zero accuracy.
+func Accuracy(valR, valP float64) float64 {
+	if valR == 0 {
+		if math.Abs(valP) < 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	acc := 1 - math.Abs(valP-valR)/math.Abs(valR)
+	if acc < 0 {
+		return 0
+	}
+	if acc > 1 {
+		return 1
+	}
+	return acc
+}
+
+// Deviation returns the relative deviation |valP-valR|/|valR| of the proxy
+// value from the real value.  A zero real value with a non-zero proxy value
+// reports a deviation of 1.
+func Deviation(valR, valP float64) float64 {
+	if valR == 0 {
+		if math.Abs(valP) < 1e-12 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(valP-valR) / math.Abs(valR)
+}
+
+// AccuracyReport holds per-metric accuracies of a proxy benchmark relative
+// to a real workload, as plotted in Figures 4, 8 and 9 of the paper.
+type AccuracyReport struct {
+	// PerMetric maps metric name to Accuracy(real, proxy).
+	PerMetric map[string]float64
+	// Real and Proxy retain the two compared metric vectors.
+	Real  Metrics
+	Proxy Metrics
+}
+
+// CompareMetrics computes the per-metric accuracy of proxy against real for
+// every metric named in names.  If names is empty, DefaultAccuracyMetrics is
+// used.
+func CompareMetrics(real, proxy Metrics, names []string) AccuracyReport {
+	if len(names) == 0 {
+		names = DefaultAccuracyMetrics
+	}
+	rep := AccuracyReport{
+		PerMetric: make(map[string]float64, len(names)),
+		Real:      real,
+		Proxy:     proxy,
+	}
+	for _, n := range names {
+		rep.PerMetric[n] = Accuracy(real.Get(n), proxy.Get(n))
+	}
+	return rep
+}
+
+// DefaultAccuracyMetrics is the metric subset used for accuracy evaluation
+// in the paper's Figures 4, 8 and 9: everything in Table V except the raw
+// runtime (runtime is evaluated separately as the speedup, Table VI).
+var DefaultAccuracyMetrics = []string{
+	"IPC",
+	"MIPS",
+	"load_ratio",
+	"store_ratio",
+	"branch_ratio",
+	"int_ratio",
+	"float_ratio",
+	"branch_miss",
+	"L1I_hit",
+	"L1D_hit",
+	"L2_hit",
+	"L3_hit",
+	"read_bw",
+	"write_bw",
+	"mem_bw",
+	"disk_io_bw",
+}
+
+// Average returns the mean accuracy over all metrics in the report.
+func (r AccuracyReport) Average() float64 {
+	if len(r.PerMetric) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.PerMetric {
+		sum += v
+	}
+	return sum / float64(len(r.PerMetric))
+}
+
+// Worst returns the metric with the lowest accuracy and its value.
+func (r AccuracyReport) Worst() (string, float64) {
+	worstName, worst := "", math.Inf(1)
+	for _, n := range sortedKeys(r.PerMetric) {
+		if v := r.PerMetric[n]; v < worst {
+			worst, worstName = v, n
+		}
+	}
+	if worstName == "" {
+		return "", 0
+	}
+	return worstName, worst
+}
+
+// String renders the report sorted by metric name.
+func (r AccuracyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "average accuracy %.3f\n", r.Average())
+	for _, n := range sortedKeys(r.PerMetric) {
+		fmt.Fprintf(&b, "  %-12s %.3f (real=%.4g proxy=%.4g)\n", n, r.PerMetric[n], r.Real.Get(n), r.Proxy.Get(n))
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

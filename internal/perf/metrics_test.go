@@ -1,0 +1,221 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromCountersDerivesRatios(t *testing.T) {
+	c := Counters{
+		LoadInstrs:   30,
+		StoreInstrs:  10,
+		IntInstrs:    40,
+		FloatInstrs:  10,
+		BranchInstrs: 10,
+		Cycles:       200,
+		BranchMisses: 2,
+		L1DAccesses:  40, L1DMisses: 4,
+		L1IAccesses: 100, L1IMisses: 1,
+		L2Accesses: 5, L2Misses: 2,
+		L3Accesses: 2, L3Misses: 1,
+		MemReadBytes: 1000, MemWriteBytes: 500,
+		DiskReadBytes: 512, DiskWriteBytes: 512,
+	}
+	m := FromCounters(c, 2.0)
+	if !approx(m.IPC, 100.0/200.0, 1e-9) {
+		t.Fatalf("IPC = %g", m.IPC)
+	}
+	if !approx(m.MIPS, 100.0/2.0/1e6, 1e-12) {
+		t.Fatalf("MIPS = %g", m.MIPS)
+	}
+	if !approx(m.LoadRatio, 0.3, 1e-9) || !approx(m.StoreRatio, 0.1, 1e-9) ||
+		!approx(m.IntRatio, 0.4, 1e-9) || !approx(m.FloatRatio, 0.1, 1e-9) ||
+		!approx(m.BranchRatio, 0.1, 1e-9) {
+		t.Fatalf("instruction mix wrong: %+v", m)
+	}
+	if !approx(m.BranchMissRatio, 0.2, 1e-9) {
+		t.Fatalf("BranchMissRatio = %g", m.BranchMissRatio)
+	}
+	if !approx(m.L1DHit, 0.9, 1e-9) || !approx(m.L1IHit, 0.99, 1e-9) ||
+		!approx(m.L2Hit, 0.6, 1e-9) || !approx(m.L3Hit, 0.5, 1e-9) {
+		t.Fatalf("cache hit ratios wrong: %+v", m)
+	}
+	if !approx(m.ReadBW, 500, 1e-9) || !approx(m.WriteBW, 250, 1e-9) || !approx(m.MemBW, 750, 1e-9) {
+		t.Fatalf("memory bandwidth wrong: %+v", m)
+	}
+	if !approx(m.DiskBW, 512, 1e-9) {
+		t.Fatalf("DiskBW = %g", m.DiskBW)
+	}
+}
+
+func TestFromCountersZeroRuntime(t *testing.T) {
+	c := Counters{IntInstrs: 10, Cycles: 10}
+	m := FromCounters(c, 0)
+	if m.MIPS != 0 || m.MemBW != 0 || m.DiskBW != 0 {
+		t.Fatalf("rate metrics should be zero with zero runtime: %+v", m)
+	}
+	if m.IPC != 1 {
+		t.Fatalf("IPC should still be derived from cycles, got %g", m.IPC)
+	}
+}
+
+func TestFromCountersEmpty(t *testing.T) {
+	m := FromCounters(Counters{}, 1)
+	// With no accesses the caches report perfect hit ratios by convention.
+	if m.L1DHit != 1 || m.L2Hit != 1 {
+		t.Fatalf("empty counters should yield hit ratio 1, got %+v", m)
+	}
+	for i, v := range m.Vector() {
+		if math.IsNaN(v) {
+			t.Fatalf("metric %s is NaN", MetricNames[i])
+		}
+	}
+}
+
+func TestMetricsVectorMatchesNames(t *testing.T) {
+	m := Metrics{Runtime: 1, IPC: 2, MIPS: 3, LoadRatio: 4, StoreRatio: 5, BranchRatio: 6,
+		IntRatio: 7, FloatRatio: 8, BranchMissRatio: 9, L1IHit: 10, L1DHit: 11, L2Hit: 12,
+		L3Hit: 13, ReadBW: 14, WriteBW: 15, MemBW: 16, DiskBW: 17}
+	v := m.Vector()
+	if len(v) != len(MetricNames) {
+		t.Fatalf("Vector length %d != MetricNames length %d", len(v), len(MetricNames))
+	}
+	for i, n := range MetricNames {
+		if m.Get(n) != v[i] {
+			t.Fatalf("Get(%q) = %g, Vector[%d] = %g", n, m.Get(n), i, v[i])
+		}
+	}
+}
+
+func TestMetricsGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on unknown metric should panic")
+		}
+	}()
+	Metrics{}.Get("no_such_metric")
+}
+
+func TestAccuracyEquation3(t *testing.T) {
+	cases := []struct {
+		real, proxy, want float64
+	}{
+		{100, 100, 1},
+		{100, 90, 0.9},
+		{100, 110, 0.9},
+		{100, 250, 0},  // >100% deviation clamps to zero
+		{0, 0, 1},      // both zero: perfect
+		{0, 5, 0},      // real zero, proxy nonzero: zero accuracy
+		{-10, -9, 0.9}, // handles negative values via absolute deviation
+	}
+	for _, c := range cases {
+		if got := Accuracy(c.real, c.proxy); !approx(got, c.want, 1e-9) {
+			t.Errorf("Accuracy(%g, %g) = %g, want %g", c.real, c.proxy, got, c.want)
+		}
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	if d := Deviation(100, 85); !approx(d, 0.15, 1e-9) {
+		t.Fatalf("Deviation(100,85) = %g", d)
+	}
+	if d := Deviation(0, 0); d != 0 {
+		t.Fatalf("Deviation(0,0) = %g", d)
+	}
+	if d := Deviation(0, 1); d != 1 {
+		t.Fatalf("Deviation(0,1) = %g", d)
+	}
+}
+
+// Property: accuracy is always within [0,1] and symmetric deviations give
+// identical accuracy.
+func TestAccuracyBoundsProperty(t *testing.T) {
+	f := func(r, delta float64) bool {
+		if math.IsNaN(r) || math.IsInf(r, 0) || math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return true
+		}
+		r = math.Mod(math.Abs(r), 1e9) + 1 // strictly positive real value
+		delta = math.Mod(math.Abs(delta), r)
+		up := Accuracy(r, r+delta)
+		down := Accuracy(r, r-delta)
+		if up < 0 || up > 1 || down < 0 || down > 1 {
+			return false
+		}
+		return approx(up, down, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Accuracy + Deviation == 1 whenever the deviation is below 100%.
+func TestAccuracyDeviationComplementProperty(t *testing.T) {
+	f := func(r, p float64) bool {
+		if math.IsNaN(r) || math.IsInf(r, 0) || math.IsNaN(p) || math.IsInf(p, 0) {
+			return true
+		}
+		r = math.Mod(math.Abs(r), 1e6) + 1
+		p = math.Mod(math.Abs(p), 2*r)
+		dev := Deviation(r, p)
+		if dev > 1 {
+			return Accuracy(r, p) == 0
+		}
+		return approx(Accuracy(r, p)+dev, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareMetrics(t *testing.T) {
+	real := Metrics{IPC: 1.0, MIPS: 2000, L1DHit: 0.95, DiskBW: 100}
+	proxy := Metrics{IPC: 0.9, MIPS: 1800, L1DHit: 0.95, DiskBW: 80}
+	rep := CompareMetrics(real, proxy, []string{"IPC", "MIPS", "L1D_hit", "disk_io_bw"})
+	if len(rep.PerMetric) != 4 {
+		t.Fatalf("expected 4 metrics, got %d", len(rep.PerMetric))
+	}
+	if !approx(rep.PerMetric["IPC"], 0.9, 1e-9) {
+		t.Fatalf("IPC accuracy = %g", rep.PerMetric["IPC"])
+	}
+	if !approx(rep.PerMetric["L1D_hit"], 1.0, 1e-9) {
+		t.Fatalf("L1D accuracy = %g", rep.PerMetric["L1D_hit"])
+	}
+	name, worst := rep.Worst()
+	if name != "disk_io_bw" || !approx(worst, 0.8, 1e-9) {
+		t.Fatalf("Worst() = %q %g", name, worst)
+	}
+	avg := rep.Average()
+	want := (0.9 + 0.9 + 1.0 + 0.8) / 4
+	if !approx(avg, want, 1e-9) {
+		t.Fatalf("Average() = %g, want %g", avg, want)
+	}
+	if !strings.Contains(rep.String(), "IPC") {
+		t.Fatal("String() should mention metric names")
+	}
+}
+
+func TestCompareMetricsDefaultSet(t *testing.T) {
+	rep := CompareMetrics(Metrics{}, Metrics{}, nil)
+	if len(rep.PerMetric) != len(DefaultAccuracyMetrics) {
+		t.Fatalf("default metric set size %d, want %d", len(rep.PerMetric), len(DefaultAccuracyMetrics))
+	}
+	// Runtime must not be part of the default accuracy set (it is reported as
+	// speedup instead).
+	if _, ok := rep.PerMetric["runtime"]; ok {
+		t.Fatal("runtime should not be in the default accuracy metric set")
+	}
+}
+
+func TestAccuracyReportEmpty(t *testing.T) {
+	var rep AccuracyReport
+	if rep.Average() != 0 {
+		t.Fatal("empty report average should be 0")
+	}
+	if name, _ := rep.Worst(); name != "" {
+		t.Fatal("empty report should have no worst metric")
+	}
+}

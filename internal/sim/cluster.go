@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/perf"
+)
+
+// Task is one unit of work scheduled on the cluster.
+type Task struct {
+	// Fn performs the work, reporting it to the Exec.
+	Fn func(ex *Exec)
+	// Node pins the task to a specific node index; -1 distributes tasks
+	// round-robin across the worker nodes.
+	Node int
+	// Scale extrapolates the task's counters and I/O time by this factor,
+	// used when the task processes only a sample of its configured data.
+	// Zero means 1 (no extrapolation).
+	Scale float64
+}
+
+// StageResult summarises one cluster execution stage.
+type StageResult struct {
+	Name           string
+	Seconds        float64
+	Tasks          int
+	PerNodeSeconds map[int]float64
+}
+
+// Cluster is a simulated deployment of Nodes sharing a virtual clock.
+type Cluster struct {
+	cfg     ClusterConfig
+	nodes   []*Node
+	elapsed float64
+	stages  []StageResult
+}
+
+// NewCluster builds a cluster from its configuration.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		m, err := arch.NewMachine(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &Node{id: i, cluster: c, machine: m})
+	}
+	return c, nil
+}
+
+// MustNewCluster is like NewCluster but panics on configuration errors; it
+// is intended for the stock configurations.
+func MustNewCluster(cfg ClusterConfig) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return c
+}
+
+// Config returns the cluster configuration (with defaults filled in).
+func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// Nodes returns all nodes, master first.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Master returns the master node, or the single node of a one-node cluster.
+func (c *Cluster) Master() *Node { return c.nodes[0] }
+
+// Workers returns the worker (slave) nodes.
+func (c *Cluster) Workers() []*Node {
+	return c.nodes[c.cfg.MasterNodes:]
+}
+
+// Elapsed returns the virtual time in seconds accumulated so far.
+func (c *Cluster) Elapsed() float64 { return c.elapsed }
+
+// Stages returns the per-stage results recorded so far.
+func (c *Cluster) Stages() []StageResult { return c.stages }
+
+// AdvanceTime adds fixed virtual time (framework startup, coordination
+// barriers, heartbeat intervals) to the cluster clock.
+func (c *Cluster) AdvanceTime(name string, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	c.elapsed += seconds
+	c.stages = append(c.stages, StageResult{Name: name, Seconds: seconds})
+}
+
+// Reset restores the cluster to its initial state: zero elapsed time, fresh
+// nodes and no recorded stages.
+func (c *Cluster) Reset() {
+	c.elapsed = 0
+	c.stages = nil
+	for _, n := range c.nodes {
+		n.Reset()
+	}
+}
+
+// Run executes the tasks, distributing unpinned tasks round-robin across the
+// worker nodes, and advances the cluster clock by the stage's virtual
+// duration (the slowest node's time, with CPU and I/O partially overlapped).
+// Tasks execute deterministically in order; concurrency is modelled in
+// virtual time, not host time.
+func (c *Cluster) Run(stage string, tasks []Task) StageResult {
+	return c.RunStage(stage, tasks, 0)
+}
+
+// RunStage is like Run but takes an explicit per-node parallelism for the
+// virtual-time composition.  It is used when the executed tasks are a
+// scaled-up sample of a larger real task population (e.g. eight sampled map
+// tasks standing in for eight hundred): the counters extrapolate through the
+// task Scale factors, while parallelismPerNode describes how many real tasks
+// would have run concurrently on each node.  A value of zero derives the
+// parallelism from the number of sampled tasks per node, which is the right
+// default when tasks are not scaled.
+func (c *Cluster) RunStage(stage string, tasks []Task, parallelismPerNode int) StageResult {
+	workers := c.Workers()
+	if len(workers) == 0 {
+		workers = c.nodes
+	}
+
+	type nodeStage struct {
+		cycles  uint64
+		diskSec float64
+		netSec  float64
+		tasks   int
+	}
+	acc := make(map[int]*nodeStage)
+
+	for i, t := range tasks {
+		node := c.nodeForTask(t, i, workers)
+		ex := newExec(node, node.execSeq, t.Scale)
+		node.execSeq++
+		if t.Fn != nil {
+			t.Fn(ex)
+		}
+		ex.Finish()
+		ns := acc[node.id]
+		if ns == nil {
+			ns = &nodeStage{}
+			acc[node.id] = ns
+		}
+		ns.cycles += ex.counters.Cycles
+		ns.diskSec += ex.diskSeconds
+		ns.netSec += ex.netSeconds
+		ns.tasks++
+	}
+
+	res := StageResult{Name: stage, Tasks: len(tasks), PerNodeSeconds: make(map[int]float64)}
+	p := c.cfg.Profile
+	for id, ns := range acc {
+		parallel := ns.tasks
+		if parallelismPerNode > 0 {
+			parallel = parallelismPerNode
+		}
+		if cores := p.TotalCores(); parallel > cores {
+			parallel = cores
+		}
+		if parallel < 1 {
+			parallel = 1
+		}
+		cpuSec := float64(ns.cycles) / p.FrequencyHz / float64(parallel)
+		ioSec := ns.diskSec + ns.netSec
+		nodeSec := composeTime(cpuSec, ioSec, c.cfg.IOOverlapFactor)
+		res.PerNodeSeconds[id] = nodeSec
+		if nodeSec > res.Seconds {
+			res.Seconds = nodeSec
+		}
+		c.nodes[id].cpuSeconds += cpuSec
+	}
+	c.elapsed += res.Seconds
+	c.stages = append(c.stages, res)
+	return res
+}
+
+// nodeForTask resolves the node a task runs on.
+func (c *Cluster) nodeForTask(t Task, i int, workers []*Node) *Node {
+	if t.Node >= 0 && t.Node < len(c.nodes) {
+		return c.nodes[t.Node]
+	}
+	return workers[i%len(workers)]
+}
+
+// composeTime combines CPU and I/O time with partial overlap.
+func composeTime(cpu, io, overlap float64) float64 {
+	hi, lo := cpu, io
+	if io > cpu {
+		hi, lo = io, cpu
+	}
+	return hi + (1-overlap)*lo
+}
+
+// RunTasks is a convenience wrapper that builds n unpinned tasks invoking fn
+// with the task index and runs them as one stage.
+func (c *Cluster) RunTasks(stage string, n int, scale float64, fn func(i int, ex *Exec)) StageResult {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Node: -1, Scale: scale, Fn: func(ex *Exec) { fn(i, ex) }}
+	}
+	return c.Run(stage, tasks)
+}
+
+// RunOnNode runs a single task pinned to the given node as its own stage.
+func (c *Cluster) RunOnNode(stage string, node int, scale float64, fn func(ex *Exec)) StageResult {
+	return c.Run(stage, []Task{{Node: node, Scale: scale, Fn: fn}})
+}
+
+// Report summarises the execution observed so far: total virtual runtime,
+// aggregate counters over the worker nodes, and the metric vector derived
+// from the average worker-node counters (the paper reports the average value
+// across all slave nodes).
+type Report struct {
+	Name        string
+	ClusterName string
+	Runtime     float64
+	Aggregate   perf.Counters
+	PerNode     []perf.Counters
+	Metrics     perf.Metrics
+	Stages      []StageResult
+}
+
+// Report builds the execution report under the given name.
+func (c *Cluster) Report(name string) Report {
+	rep := Report{
+		Name:        name,
+		ClusterName: c.cfg.Name,
+		Runtime:     c.elapsed,
+		Stages:      append([]StageResult(nil), c.stages...),
+	}
+	workers := c.Workers()
+	active := 0
+	for _, n := range workers {
+		cnt := n.Counters()
+		rep.PerNode = append(rep.PerNode, cnt)
+		rep.Aggregate.Add(cnt)
+		if !cnt.IsZero() {
+			active++
+		}
+	}
+	if active == 0 {
+		active = 1
+	}
+	avg := rep.Aggregate
+	avg.Scale(1 / float64(active))
+	rep.Metrics = perf.FromCounters(avg, rep.Runtime)
+	return rep
+}
+
+// Speedup returns how many times faster the proxy execution is than the real
+// one (Equation 4 of the paper generalised to any two runtimes).
+func Speedup(realSeconds, proxySeconds float64) float64 {
+	if proxySeconds <= 0 {
+		return 0
+	}
+	return realSeconds / proxySeconds
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"testing"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/perf"
+)
+
+func TestClusterConfigsValidate(t *testing.T) {
+	for _, cfg := range []ClusterConfig{
+		FiveNodeWestmere(),
+		ThreeNodeWestmere64GB(),
+		ThreeNodeHaswell64GB(),
+		SingleNode(arch.Westmere(), 0),
+		SingleNode(arch.Haswell(), 16*GiB),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %q invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestClusterConfigValidateRejectsBad(t *testing.T) {
+	cfg := FiveNodeWestmere()
+	cfg.Nodes = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero nodes should be rejected")
+	}
+	cfg = FiveNodeWestmere()
+	cfg.MasterNodes = 5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("all-master cluster should be rejected")
+	}
+	cfg = FiveNodeWestmere()
+	cfg.MemoryPerNodeBytes = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero memory should be rejected")
+	}
+	cfg = FiveNodeWestmere()
+	cfg.IOOverlapFactor = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("overlap factor > 1 should be rejected")
+	}
+}
+
+func TestFiveNodeWestmereMatchesPaperDeployment(t *testing.T) {
+	cfg := FiveNodeWestmere()
+	if cfg.Nodes != 5 || cfg.MasterNodes != 1 {
+		t.Fatalf("expected 1 master + 4 slaves, got %d/%d", cfg.Nodes, cfg.MasterNodes)
+	}
+	if cfg.WorkerNodes() != 4 {
+		t.Fatalf("WorkerNodes = %d", cfg.WorkerNodes())
+	}
+	if cfg.MemoryPerNodeBytes != 32*GiB {
+		t.Fatalf("memory per node = %d", cfg.MemoryPerNodeBytes)
+	}
+}
+
+func TestNewClusterRejectsInvalidConfig(t *testing.T) {
+	cfg := FiveNodeWestmere()
+	cfg.Profile.FrequencyHz = 0
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("invalid profile should be rejected")
+	}
+}
+
+func TestMustNewClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewCluster should panic on invalid config")
+		}
+	}()
+	cfg := FiveNodeWestmere()
+	cfg.Nodes = -1
+	MustNewCluster(cfg)
+}
+
+func TestClusterRoundRobinDistribution(t *testing.T) {
+	c := MustNewCluster(FiveNodeWestmere())
+	res := c.RunTasks("map", 8, 1, func(i int, ex *Exec) {
+		ex.Int(1000)
+	})
+	if res.Tasks != 8 {
+		t.Fatalf("Tasks = %d", res.Tasks)
+	}
+	// Four workers, eight tasks: every worker runs two, master runs none.
+	if !c.Master().Counters().IsZero() {
+		t.Fatal("master node should not receive unpinned tasks")
+	}
+	for _, w := range c.Workers() {
+		if w.Counters().IntInstrs != 2000 {
+			t.Fatalf("worker %d executed %d int instrs, want 2000", w.ID(), w.Counters().IntInstrs)
+		}
+	}
+	if len(res.PerNodeSeconds) != 4 {
+		t.Fatalf("PerNodeSeconds has %d entries", len(res.PerNodeSeconds))
+	}
+}
+
+func TestClusterPinnedTask(t *testing.T) {
+	c := MustNewCluster(FiveNodeWestmere())
+	c.RunOnNode("master-work", 0, 1, func(ex *Exec) { ex.Int(500) })
+	if c.Master().Counters().IntInstrs != 500 {
+		t.Fatal("pinned task should run on the master")
+	}
+}
+
+func TestClusterElapsedAccumulatesAcrossStages(t *testing.T) {
+	c := MustNewCluster(FiveNodeWestmere())
+	r1 := c.RunTasks("s1", 4, 1, func(i int, ex *Exec) { ex.Int(1_000_000) })
+	r2 := c.RunTasks("s2", 4, 1, func(i int, ex *Exec) { ex.Int(2_000_000) })
+	if c.Elapsed() <= 0 {
+		t.Fatal("elapsed should advance")
+	}
+	if diff := c.Elapsed() - (r1.Seconds + r2.Seconds); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("elapsed %g != sum of stages %g", c.Elapsed(), r1.Seconds+r2.Seconds)
+	}
+	if len(c.Stages()) != 2 {
+		t.Fatalf("expected 2 stages, got %d", len(c.Stages()))
+	}
+	c.AdvanceTime("startup", 3)
+	if c.Elapsed() != r1.Seconds+r2.Seconds+3 {
+		t.Fatal("AdvanceTime should add to elapsed")
+	}
+	c.AdvanceTime("noop", -1)
+	if len(c.Stages()) != 3 {
+		t.Fatal("non-positive AdvanceTime should be ignored")
+	}
+}
+
+func TestClusterMoreWorkTakesLonger(t *testing.T) {
+	small := MustNewCluster(SingleNode(arch.Westmere(), 0))
+	small.RunTasks("w", 1, 1, func(i int, ex *Exec) { ex.Int(1_000_000) })
+	big := MustNewCluster(SingleNode(arch.Westmere(), 0))
+	big.RunTasks("w", 1, 1, func(i int, ex *Exec) { ex.Int(50_000_000) })
+	if big.Elapsed() <= small.Elapsed() {
+		t.Fatalf("50x work should take longer: %g vs %g", big.Elapsed(), small.Elapsed())
+	}
+}
+
+func TestClusterParallelismShortensStage(t *testing.T) {
+	// The same total work split over more tasks on a 12-core node should
+	// finish sooner in virtual time.
+	serial := MustNewCluster(SingleNode(arch.Westmere(), 0))
+	serial.RunTasks("w", 1, 1, func(i int, ex *Exec) { ex.Int(12_000_000) })
+	parallel := MustNewCluster(SingleNode(arch.Westmere(), 0))
+	parallel.RunTasks("w", 12, 1, func(i int, ex *Exec) { ex.Int(1_000_000) })
+	if parallel.Elapsed() >= serial.Elapsed() {
+		t.Fatalf("parallel %g should beat serial %g", parallel.Elapsed(), serial.Elapsed())
+	}
+}
+
+func TestClusterHaswellFasterThanWestmere(t *testing.T) {
+	run := func(cfg ClusterConfig) float64 {
+		c := MustNewCluster(cfg)
+		c.RunTasks("w", 4, 1, func(i int, ex *Exec) {
+			r := ex.Node().Alloc(8 * 1024 * 1024)
+			ex.Float(5_000_000)
+			ex.Int(5_000_000)
+			ex.Load(r, 0, 8*1024*1024)
+		})
+		return c.Elapsed()
+	}
+	west := run(ThreeNodeWestmere64GB())
+	has := run(ThreeNodeHaswell64GB())
+	if has >= west {
+		t.Fatalf("Haswell (%g s) should be faster than Westmere (%g s)", has, west)
+	}
+	speedup := Speedup(west, has)
+	if speedup < 1.05 || speedup > 3 {
+		t.Fatalf("cross-generation speedup %g outside plausible range", speedup)
+	}
+}
+
+func TestClusterReset(t *testing.T) {
+	c := MustNewCluster(FiveNodeWestmere())
+	c.RunTasks("w", 4, 1, func(i int, ex *Exec) { ex.Int(100) })
+	c.Reset()
+	if c.Elapsed() != 0 || len(c.Stages()) != 0 {
+		t.Fatal("Reset should clear time and stages")
+	}
+	for _, n := range c.Nodes() {
+		if !n.Counters().IsZero() {
+			t.Fatal("Reset should clear node counters")
+		}
+	}
+}
+
+func TestClusterReportAveragesWorkerNodes(t *testing.T) {
+	c := MustNewCluster(FiveNodeWestmere())
+	c.RunTasks("w", 4, 1, func(i int, ex *Exec) {
+		ex.Int(1_000_000)
+		ex.ReadDisk(1 << 20)
+	})
+	rep := c.Report("test-workload")
+	if rep.Name != "test-workload" || rep.Runtime != c.Elapsed() {
+		t.Fatal("report header mismatch")
+	}
+	if len(rep.PerNode) != 4 {
+		t.Fatalf("PerNode entries = %d", len(rep.PerNode))
+	}
+	var total perf.Counters
+	for _, n := range c.Workers() {
+		total.Add(n.Counters())
+	}
+	if rep.Aggregate != total {
+		t.Fatal("aggregate counters should equal the sum over workers")
+	}
+	// The metric vector comes from the average worker node.
+	if rep.Metrics.Runtime != rep.Runtime {
+		t.Fatal("metrics runtime should be the report runtime")
+	}
+	wantMIPS := float64(total.Instructions()) / 4 / rep.Runtime / 1e6
+	got := rep.Metrics.MIPS
+	if got < wantMIPS*0.99 || got > wantMIPS*1.01 {
+		t.Fatalf("MIPS %g, want about %g", got, wantMIPS)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(1500, 11.02) < 100 {
+		t.Fatal("TeraSort-like speedup should exceed 100x")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("zero proxy runtime yields zero speedup")
+	}
+}
+
+func TestComposeTimeOverlap(t *testing.T) {
+	if got := composeTime(10, 4, 1); got != 10 {
+		t.Fatalf("full overlap should hide the smaller term, got %g", got)
+	}
+	if got := composeTime(10, 4, 0); got != 14 {
+		t.Fatalf("no overlap should serialise, got %g", got)
+	}
+	if got := composeTime(4, 10, 0.5); got != 12 {
+		t.Fatalf("partial overlap got %g, want 12", got)
+	}
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"dataproxy/internal/arch"
+	"dataproxy/internal/perf"
+)
+
+// Exec records the work performed by one task on one core of a node.  Motif
+// and workload implementations call its methods while they compute on real
+// data; the Exec counts instructions, drives the cache and branch models
+// with (a sampled subset of) the resulting event stream, and converts the
+// totals into cycles and virtual time when the task finishes.
+type Exec struct {
+	node *Node
+	cfg  ClusterConfig
+	core *arch.Core
+
+	counters perf.Counters
+	scale    float64
+
+	// Instruction fetch / code footprint model.
+	codeRegion    Region
+	codePtr       uint64
+	codeJumpPer1k int
+	fetchPending  uint64 // instructions since the last modelled fetch
+	fetchInterval uint64
+
+	// Sampled micro-architecture observations, kept separately for the data
+	// side and the instruction side because their extrapolation factors
+	// differ.
+	data  sampleStats
+	instr sampleStats
+
+	sampledBranches   uint64
+	sampledBranchMiss uint64
+
+	diskSeconds float64
+	netSeconds  float64
+
+	rng      uint64
+	finished bool
+}
+
+// sampleStats aggregates the outcome of the accesses actually pushed through
+// the cache hierarchy.
+type sampleStats struct {
+	accesses uint64 // ops modelled
+	l1Miss   uint64
+	l2Acc    uint64
+	l2Miss   uint64
+	l3Acc    uint64
+	l3Miss   uint64
+	memRead  uint64 // bytes
+	memWrite uint64 // bytes
+}
+
+func (s *sampleStats) record(res arch.AccessResult, write bool, lineBytes uint64) {
+	s.accesses++
+	if res.HitLevel == 1 {
+		return
+	}
+	s.l1Miss++
+	s.l2Acc++
+	if res.HitLevel == 2 {
+		return
+	}
+	s.l2Miss++
+	s.l3Acc++
+	if res.HitLevel == 3 {
+		return
+	}
+	s.l3Miss++
+	s.memRead += lineBytes
+	if write {
+		// Write-allocate with eventual write-back of the dirty line.
+		s.memWrite += lineBytes
+	}
+}
+
+// DefaultCodeFootprintBytes is the synthetic code footprint of a
+// light-weight (POSIX-threads style) implementation.  Heavy software stacks
+// override it with SetCodeFootprint.
+const DefaultCodeFootprintBytes = 64 * 1024
+
+const (
+	wordBytes    = 8
+	opsPerFetch  = 4 // instructions covered by one modelled instruction fetch
+	missMLPHide  = 0.55
+	defaultJumps = 60 // taken control transfers per 1000 instructions
+)
+
+func newExec(n *Node, coreSlot int, scale float64) *Exec {
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := n.cluster.cfg
+	e := &Exec{
+		node:          n,
+		cfg:           cfg,
+		core:          n.machine.Core(coreSlot),
+		scale:         scale,
+		codeJumpPer1k: defaultJumps,
+		fetchInterval: uint64(opsPerFetch * cfg.EventSampleRate),
+		rng:           uint64(coreSlot)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03,
+	}
+	e.codeRegion = n.Alloc(DefaultCodeFootprintBytes)
+	return e
+}
+
+// Node returns the node this execution runs on.
+func (e *Exec) Node() *Node { return e.node }
+
+// Counters exposes the raw counters accumulated so far (pre-extrapolation
+// until Finish has run).
+func (e *Exec) Counters() perf.Counters { return e.counters }
+
+// SetCodeFootprint models the instruction working-set size of the software
+// stack executing this task (a few tens of KB for the light-weight proxy
+// implementations, several MB for JVM/Hadoop or TensorFlow stacks) together
+// with the frequency of taken control transfers per 1000 instructions,
+// which controls instruction-cache locality.
+func (e *Exec) SetCodeFootprint(bytes uint64, jumpsPer1k int) {
+	if bytes == 0 {
+		bytes = DefaultCodeFootprintBytes
+	}
+	if jumpsPer1k <= 0 {
+		jumpsPer1k = defaultJumps
+	}
+	e.codeRegion = e.node.Alloc(bytes)
+	e.codeJumpPer1k = jumpsPer1k
+}
+
+func (e *Exec) nextRand() uint64 {
+	// xorshift64*
+	x := e.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// countInstr adds n instructions of any class to the instruction-fetch model.
+func (e *Exec) countInstr(n uint64) {
+	e.counters.L1IAccesses += n
+	e.fetchPending += n
+	for e.fetchPending >= e.fetchInterval {
+		e.fetchPending -= e.fetchInterval
+		e.modelFetch()
+	}
+}
+
+func (e *Exec) modelFetch() {
+	// Sequential fetch with occasional jumps within the code footprint.
+	if e.nextRand()%1000 < uint64(e.codeJumpPer1k) {
+		e.codePtr = e.nextRand() % e.codeRegion.Size()
+	} else {
+		e.codePtr += 64
+	}
+	addr := e.codeRegion.Addr(e.codePtr)
+	res := e.core.Caches.L1I.Access(addr, false)
+	e.instr.record(res, false, uint64(e.cfg.Profile.L1I.LineBytes))
+}
+
+// Int records n integer ALU instructions.
+func (e *Exec) Int(n uint64) {
+	e.counters.IntInstrs += n
+	e.countInstr(n)
+}
+
+// Float records n floating-point instructions.
+func (e *Exec) Float(n uint64) {
+	e.counters.FloatInstrs += n
+	e.countInstr(n)
+}
+
+// Branch records one branch instruction at the given call site with its
+// actual outcome; the site distinguishes independent branches so that the
+// gshare predictor model sees realistic per-site histories.
+func (e *Exec) Branch(site uint64, taken bool) {
+	e.counters.BranchInstrs++
+	e.countInstr(1)
+	e.sampledBranches++
+	if !e.core.Branch.Record(site*2654435761+e.codeRegion.base, taken) {
+		e.sampledBranchMiss++
+	}
+}
+
+// Load records a sequential read of size bytes starting at offset off of
+// region r.  It counts one load instruction per machine word and drives the
+// cache model with up to MaxModelOpsPerCall of those accesses, extrapolating
+// the remainder.
+func (e *Exec) Load(r Region, off, size uint64) { e.access(r, off, size, false) }
+
+// Store records a sequential write of size bytes starting at offset off of
+// region r, with write-allocate cache semantics.
+func (e *Exec) Store(r Region, off, size uint64) { e.access(r, off, size, true) }
+
+func (e *Exec) access(r Region, off, size uint64, write bool) {
+	ops := size / wordBytes
+	if ops == 0 {
+		ops = 1
+	}
+	if write {
+		e.counters.StoreInstrs += ops
+	} else {
+		e.counters.LoadInstrs += ops
+	}
+	e.counters.L1DAccesses += ops
+	e.countInstr(ops)
+
+	model := ops
+	if model > uint64(e.cfg.MaxModelOpsPerCall) {
+		model = uint64(e.cfg.MaxModelOpsPerCall)
+	}
+	lineBytes := uint64(e.cfg.Profile.L1D.LineBytes)
+	// Model a prefix of the access run; the run is homogeneous so the prefix
+	// is representative and the remainder is extrapolated at Finish.
+	stride := uint64(wordBytes)
+	if model < ops {
+		// Spread the modelled accesses across the whole run so capacity
+		// effects of large runs are still visible.
+		stride = (size / model) / wordBytes * wordBytes
+		if stride < wordBytes {
+			stride = wordBytes
+		}
+	}
+	addr := off
+	for i := uint64(0); i < model; i++ {
+		res := e.core.Caches.L1D.Access(r.Addr(addr), write)
+		e.data.record(res, write, lineBytes)
+		addr += stride
+	}
+}
+
+// Touch records a single word-sized access at offset off of region r; it is
+// the building block for random-access patterns (hash probes, pointer
+// chasing, graph traversal).
+func (e *Exec) Touch(r Region, off uint64, write bool) {
+	e.access(r, off, wordBytes, write)
+}
+
+// ReadDisk records reading size bytes from the node's local disk.  Disk time
+// is charged at the profile's sequential bandwidth; seek-dominated access
+// patterns can add explicit time through DiskSecondsHint.
+func (e *Exec) ReadDisk(size uint64) {
+	e.counters.DiskReadBytes += size
+	p := e.cfg.Profile
+	e.diskSeconds += float64(size) / p.DiskBandwidthBytesPS
+	// The kernel and framework I/O path costs instructions too.
+	e.ioPathInstructions(size)
+}
+
+// WriteDisk records writing size bytes to the node's local disk.
+func (e *Exec) WriteDisk(size uint64) {
+	e.counters.DiskWriteBytes += size
+	p := e.cfg.Profile
+	e.diskSeconds += float64(size) / p.DiskBandwidthBytesPS
+	e.ioPathInstructions(size)
+}
+
+// NetSend records sending size bytes to another node.
+func (e *Exec) NetSend(size uint64) {
+	e.counters.NetSentBytes += size
+	p := e.cfg.Profile
+	e.netSeconds += p.NetLatencySeconds + float64(size)/p.NetBandwidthBytesPS
+	e.ioPathInstructions(size / 2)
+}
+
+// NetRecv records receiving size bytes from another node.
+func (e *Exec) NetRecv(size uint64) {
+	e.counters.NetRecvBytes += size
+	p := e.cfg.Profile
+	e.netSeconds += p.NetLatencySeconds + float64(size)/p.NetBandwidthBytesPS
+	e.ioPathInstructions(size / 2)
+}
+
+// ioPathInstructions models the per-byte CPU cost of the I/O path (copying,
+// checksumming, protocol handling): a few integer instructions and branches
+// per cache line moved.
+func (e *Exec) ioPathInstructions(size uint64) {
+	lines := size / 64
+	if lines == 0 {
+		return
+	}
+	e.counters.IntInstrs += lines * 2
+	e.counters.BranchInstrs += lines / 8
+	e.countInstr(lines*2 + lines/8)
+}
+
+// DiskSecondsHint adds extra virtual disk time without byte accounting, used
+// by framework models for seek-dominated activity (e.g. shuffle of many
+// small spill files).
+func (e *Exec) DiskSecondsHint(sec float64) {
+	if sec > 0 {
+		e.diskSeconds += sec
+	}
+}
+
+// Finish extrapolates the sampled model observations onto the full counter
+// totals, derives cycles, applies the extrapolation scale factor and merges
+// the result into the node.  It is called exactly once by the cluster.
+func (e *Exec) Finish() {
+	if e.finished {
+		return
+	}
+	e.finished = true
+
+	// Extrapolate data-side cache behaviour.
+	if e.data.accesses > 0 {
+		f := float64(e.counters.L1DAccesses) / float64(e.data.accesses)
+		e.counters.L1DMisses = scaleU(e.data.l1Miss, f)
+		e.counters.L2Accesses += scaleU(e.data.l2Acc, f)
+		e.counters.L2Misses += scaleU(e.data.l2Miss, f)
+		e.counters.L3Accesses += scaleU(e.data.l3Acc, f)
+		e.counters.L3Misses += scaleU(e.data.l3Miss, f)
+		e.counters.MemReadBytes += scaleU(e.data.memRead, f)
+		e.counters.MemWriteBytes += scaleU(e.data.memWrite, f)
+	}
+	// Extrapolate instruction-side cache behaviour.
+	if e.instr.accesses > 0 {
+		// One modelled fetch stands for fetchInterval instructions but the
+		// L1I access counter counts every instruction, so extrapolate misses
+		// at line granularity: misses per modelled fetch * fetches per
+		// instruction stream.
+		f := float64(e.counters.L1IAccesses) / float64(e.instr.accesses*e.fetchInterval)
+		// Express instruction accesses in fetch units for miss accounting.
+		e.counters.L1IMisses = scaleU(e.instr.l1Miss, f*float64(e.fetchInterval)/float64(opsPerFetch))
+		if e.counters.L1IMisses > e.counters.L1IAccesses {
+			e.counters.L1IMisses = e.counters.L1IAccesses
+		}
+		fi := float64(e.counters.L1IMisses)
+		if e.instr.l1Miss > 0 {
+			fi = fi / float64(e.instr.l1Miss)
+		} else {
+			fi = 0
+		}
+		e.counters.L2Accesses += scaleU(e.instr.l2Acc, fi)
+		e.counters.L2Misses += scaleU(e.instr.l2Miss, fi)
+		e.counters.L3Accesses += scaleU(e.instr.l3Acc, fi)
+		e.counters.L3Misses += scaleU(e.instr.l3Miss, fi)
+		e.counters.MemReadBytes += scaleU(e.instr.memRead, fi)
+	}
+	// Extrapolate branch prediction.
+	if e.sampledBranches > 0 {
+		f := float64(e.counters.BranchInstrs) / float64(e.sampledBranches)
+		e.counters.BranchMisses = scaleU(e.sampledBranchMiss, f)
+		if e.counters.BranchMisses > e.counters.BranchInstrs {
+			e.counters.BranchMisses = e.counters.BranchInstrs
+		}
+	}
+
+	e.counters.Cycles = e.deriveCycles()
+
+	if e.scale != 1 {
+		e.counters.Scale(e.scale)
+		e.diskSeconds *= e.scale
+		e.netSeconds *= e.scale
+	}
+	e.node.absorb(e)
+}
+
+func scaleU(v uint64, f float64) uint64 {
+	if f <= 0 {
+		return 0
+	}
+	return uint64(float64(v) * f)
+}
+
+// deriveCycles assembles the cycle count from the instruction stream and the
+// modelled stall sources: issue width, floating point cost, cache miss
+// latencies (partially hidden by memory-level parallelism) and branch
+// mispredictions.
+func (e *Exec) deriveCycles() uint64 {
+	p := e.cfg.Profile
+	instr := float64(e.counters.Instructions())
+	base := instr / float64(p.IssueWidth)
+	fpExtra := float64(e.counters.FloatInstrs) * (p.FloatCostFactor - 1)
+	if fpExtra < 0 {
+		fpExtra = 0
+	}
+	missPenalty := float64(e.counters.L1DMisses)*float64(p.L2.LatencyCycles) +
+		float64(e.counters.L2Misses)*float64(p.L3.LatencyCycles) +
+		float64(e.counters.L3Misses)*float64(p.MemLatencyCycles)
+	instrPenalty := float64(e.counters.L1IMisses) * float64(p.L2.LatencyCycles)
+	branchPenalty := float64(e.counters.BranchMisses) * float64(p.Branch.MissPenaltyCycles)
+	cycles := base + fpExtra + (1-missMLPHide)*missPenalty + instrPenalty + branchPenalty
+	if cycles < 1 {
+		cycles = 1
+	}
+	return uint64(cycles)
+}

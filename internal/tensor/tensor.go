@@ -1,0 +1,119 @@
+// Package tensor provides the minimal dense tensor type shared by the AI
+// data motif implementations and the dataflow (TensorFlow-like) substrate.
+// Tensors are float32, stored contiguously in row-major order of their shape
+// (NCHW for image batches, as in the paper's AI motif parameterisation).
+package tensor
+
+import "fmt"
+
+// Tensor is a dense float32 tensor.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New allocates a zero tensor with the given shape.  A zero-dimensional
+// tensor holds a single element.
+func New(shape ...int) *Tensor {
+	size := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		size *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, size)}
+}
+
+// FromData wraps existing data with a shape; the data length must match the
+// shape volume.
+func FromData(data []float32, shape ...int) (*Tensor, error) {
+	size := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("tensor: negative dimension %d", d)
+		}
+		size *= d
+	}
+	if size != len(data) {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (%d)", len(data), shape, size)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}, nil
+}
+
+// Shape returns the tensor's dimensions.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Bytes returns the storage size in bytes.
+func (t *Tensor) Bytes() uint64 { return uint64(len(t.data)) * 4 }
+
+// Data exposes the backing slice.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %d (size %d)", x, i, t.shape[i]))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape returns a view of the same data with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	if size != len(t.data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elements) to %v (%d)", t.shape, len(t.data), shape, size)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}, nil
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}

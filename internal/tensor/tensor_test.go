@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 || x.Rank() != 3 || x.Dim(1) != 3 {
+		t.Fatalf("shape bookkeeping wrong: %v", x.Shape())
+	}
+	x.Set(7, 1, 2, 3)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if x.At(0, 0, 0) != 0 {
+		t.Fatal("fresh tensor should be zeroed")
+	}
+	if x.Bytes() != 96 {
+		t.Fatalf("Bytes = %d", x.Bytes())
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	s := New()
+	if s.Size() != 1 {
+		t.Fatalf("scalar tensor size %d", s.Size())
+	}
+	s.Set(3)
+	if s.At() != 3 {
+		t.Fatal("scalar Set/At failed")
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dimension should panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestIndexValidation(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func(idx []int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("index %v should panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}(idx)
+	}
+}
+
+func TestFromData(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	x, err := FromData(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 2) != 6 {
+		t.Fatal("row-major layout expected")
+	}
+	if _, err := FromData(data, 4, 2); err == nil {
+		t.Fatal("mismatched shape should be rejected")
+	}
+	if _, err := FromData(data, -1, 6); err == nil {
+		t.Fatal("negative dimension should be rejected")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := New(2, 6)
+	x.Set(5, 1, 3)
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(2, 1) != 5 {
+		t.Fatal("reshape should share data (element 9)")
+	}
+	if _, err := x.Reshape(5, 5); err == nil {
+		t.Fatal("volume-changing reshape should fail")
+	}
+}
+
+func TestCloneAndFill(t *testing.T) {
+	x := New(4)
+	x.Fill(2)
+	y := x.Clone()
+	y.Set(9, 0)
+	if x.At(0) != 2 {
+		t.Fatal("Clone should not alias the original")
+	}
+	if !SameShape(x, y) {
+		t.Fatal("clone shape should match")
+	}
+	if SameShape(x, New(2, 2)) {
+		t.Fatal("different shapes should not compare equal")
+	}
+}
+
+// Property: Set followed by At returns the stored value for any in-range
+// index of a fixed-shape tensor.
+func TestSetAtProperty(t *testing.T) {
+	x := New(5, 7, 3)
+	f := func(a, b, c uint8, v float32) bool {
+		i, j, k := int(a)%5, int(b)%7, int(c)%3
+		x.Set(v, i, j, k)
+		return x.At(i, j, k) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

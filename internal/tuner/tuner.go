@@ -1,0 +1,284 @@
+// Package tuner implements the auto-tuning tool of Section II-B: given a
+// proxy benchmark and the metric profile of the real workload it should
+// mimic, the tuner performs an impact analysis (perturb one tunable
+// parameter at a time and observe the metric response), fits a decision tree
+// per metric on those observations, and then iterates an adjusting stage
+// (pick the parameter the trees say will best fix the worst-deviating
+// metric) and a feedback stage (re-measure accuracy) until every metric's
+// deviation is within the threshold or the iteration budget is exhausted.
+package tuner
+
+import (
+	"fmt"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/dtree"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// Options controls the tuning process.
+type Options struct {
+	// Threshold is the accepted relative deviation per metric (the paper
+	// uses 15%).  Zero selects the default.
+	Threshold float64
+	// MaxIterations bounds the adjust/feedback loop (default 12).
+	MaxIterations int
+	// Metrics selects the metrics to match (default perf.DefaultAccuracyMetrics).
+	Metrics []string
+	// Parameters selects which tunable parameters may be adjusted (default:
+	// dataSize, chunkSize, numTasks, weight).
+	Parameters []string
+	// ImpactFactors are the multiplicative perturbations applied to each
+	// parameter during impact analysis.
+	ImpactFactors []float64
+	// Step is the multiplicative adjustment applied per iteration (default 1.3).
+	Step float64
+	// MinFactor and MaxFactor clamp every parameter factor.
+	MinFactor float64
+	MaxFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.15
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 12
+	}
+	if len(o.Metrics) == 0 {
+		o.Metrics = perf.DefaultAccuracyMetrics
+	}
+	if len(o.Parameters) == 0 {
+		o.Parameters = []string{"dataSize", "chunkSize", "numTasks", "weight"}
+	}
+	if len(o.ImpactFactors) == 0 {
+		o.ImpactFactors = []float64{0.6, 0.8, 1.25, 1.6}
+	}
+	if o.Step <= 1 {
+		o.Step = 1.3
+	}
+	if o.MinFactor <= 0 {
+		o.MinFactor = 0.2
+	}
+	if o.MaxFactor <= o.MinFactor {
+		o.MaxFactor = 5
+	}
+	return o
+}
+
+// Iteration records one adjust/feedback round.
+type Iteration struct {
+	// Metric is the worst-deviating metric that triggered the adjustment.
+	Metric string
+	// Parameter is the tunable parameter that was adjusted and its new factor.
+	Parameter string
+	Factor    float64
+	// Average and Worst describe the accuracy after the adjustment.
+	Average float64
+	Worst   float64
+}
+
+// Result is the outcome of tuning one proxy benchmark.
+type Result struct {
+	// Setting is the qualified proxy benchmark's final parameter setting.
+	Setting core.Setting
+	// Report is the accuracy report of the final setting against the target.
+	Report perf.AccuracyReport
+	// ProxyMetrics are the final proxy metrics (including runtime, which is
+	// reported as the speedup rather than matched).
+	ProxyMetrics perf.Metrics
+	// Converged indicates every metric deviation was within the threshold.
+	Converged bool
+	// Iterations is the number of adjust/feedback rounds executed.
+	Iterations int
+	// History records each round.
+	History []Iteration
+	// Evaluations counts how many times the proxy benchmark was executed
+	// (impact analysis + feedback evaluations).
+	Evaluations int
+}
+
+// Tune runs the full auto-tuning process of the paper's Figure 3 for one
+// proxy benchmark against the target metrics measured on the real workload.
+func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{Setting: core.DefaultSetting()}
+
+	evaluate := func(s core.Setting) (perf.Metrics, error) {
+		rep, err := core.Run(cluster, b, s)
+		if err != nil {
+			return perf.Metrics{}, err
+		}
+		res.Evaluations++
+		return rep.Metrics, nil
+	}
+
+	// Baseline evaluation with the initial weights/parameters.
+	baseline, err := evaluate(res.Setting)
+	if err != nil {
+		return res, fmt.Errorf("tuner: baseline evaluation failed: %w", err)
+	}
+
+	// --- Impact analysis: perturb one parameter at a time.
+	samples := map[string][]dtree.Sample{}
+	record := func(s core.Setting, m perf.Metrics) {
+		feat := featureVector(s, opts.Parameters)
+		for _, name := range opts.Metrics {
+			samples[name] = append(samples[name], dtree.Sample{Features: feat, Target: m.Get(name)})
+		}
+	}
+	record(res.Setting, baseline)
+	for _, p := range opts.Parameters {
+		for _, f := range opts.ImpactFactors {
+			s := res.Setting.Clone()
+			s[p] = f
+			m, err := evaluate(s)
+			if err != nil {
+				return res, fmt.Errorf("tuner: impact analysis of %s failed: %w", p, err)
+			}
+			record(s, m)
+		}
+	}
+	trees, err := fitTrees(samples, opts.Metrics)
+	if err != nil {
+		return res, err
+	}
+
+	// --- Adjust / feedback loop.
+	current := res.Setting.Clone()
+	metrics := baseline
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		report := perf.CompareMetrics(target, metrics, opts.Metrics)
+		res.Report = report
+		res.ProxyMetrics = metrics
+		worstMetric, worstAcc := report.Worst()
+		if 1-worstAcc <= opts.Threshold {
+			res.Converged = true
+			break
+		}
+		res.Iterations = iter + 1
+
+		// Adjusting stage: ask the decision tree which parameter move brings
+		// the worst metric closest to the target.
+		param, factor := bestMove(trees[worstMetric], current, target.Get(worstMetric), opts)
+		if param == "" {
+			break
+		}
+		candidate := current.Clone()
+		candidate[param] = factor
+
+		// Feedback stage: evaluate the adjusted proxy benchmark.
+		m, err := evaluate(candidate)
+		if err != nil {
+			return res, fmt.Errorf("tuner: feedback evaluation failed: %w", err)
+		}
+		record(candidate, m)
+		// Refit the worst metric's tree with the new observation.
+		if t, ferr := dtree.Fit(samples[worstMetric], dtree.Config{}); ferr == nil {
+			trees[worstMetric] = t
+		}
+
+		newReport := perf.CompareMetrics(target, m, opts.Metrics)
+		res.History = append(res.History, Iteration{
+			Metric:    worstMetric,
+			Parameter: param,
+			Factor:    factor,
+			Average:   newReport.Average(),
+			Worst:     worstOf(newReport),
+		})
+		// Accept the move only if it does not reduce the average accuracy;
+		// otherwise keep the previous setting and let the next iteration try
+		// a different move with the enriched training data.
+		if newReport.Average() >= report.Average() {
+			current = candidate
+			metrics = m
+		}
+	}
+	// Final report for the setting we ended on.
+	final := perf.CompareMetrics(target, metrics, opts.Metrics)
+	res.Setting = current
+	res.Report = final
+	res.ProxyMetrics = metrics
+	if _, worstAcc := final.Worst(); 1-worstAcc <= opts.Threshold {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+func worstOf(r perf.AccuracyReport) float64 {
+	_, w := r.Worst()
+	return w
+}
+
+func featureVector(s core.Setting, params []string) []float64 {
+	v := make([]float64, len(params))
+	for i, p := range params {
+		v[i] = s.Get(p)
+	}
+	return v
+}
+
+func fitTrees(samples map[string][]dtree.Sample, metrics []string) (map[string]*dtree.Tree, error) {
+	trees := make(map[string]*dtree.Tree, len(metrics))
+	for _, name := range metrics {
+		t, err := dtree.Fit(samples[name], dtree.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("tuner: fitting decision tree for %s: %w", name, err)
+		}
+		trees[name] = t
+	}
+	return trees, nil
+}
+
+// bestMove evaluates candidate single-parameter adjustments with the metric's
+// decision tree and returns the move predicted to land closest to the target
+// value.
+func bestMove(tree *dtree.Tree, current core.Setting, target float64, opts Options) (string, float64) {
+	if tree == nil {
+		return "", 0
+	}
+	bestParam := ""
+	bestFactor := 0.0
+	bestDist := -1.0
+	for i, p := range opts.Parameters {
+		for _, dir := range []float64{opts.Step, 1 / opts.Step} {
+			factor := clamp(current.Get(p)*dir, opts.MinFactor, opts.MaxFactor)
+			if factor == current.Get(p) {
+				continue
+			}
+			candidate := current.Clone()
+			candidate[p] = factor
+			feat := featureVector(candidate, opts.Parameters)
+			predicted := tree.Predict(feat)
+			dist := abs(predicted - target)
+			// Prefer parameters the tree considers influential for this
+			// metric; break ties toward earlier (coarser) parameters.
+			importance := tree.FeatureImportance()
+			weighted := dist * (1.1 - 0.1*importance[i])
+			if bestDist < 0 || weighted < bestDist {
+				bestDist = weighted
+				bestParam = p
+				bestFactor = factor
+			}
+		}
+	}
+	return bestParam, bestFactor
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

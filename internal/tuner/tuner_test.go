@@ -1,0 +1,161 @@
+package tuner
+
+import (
+	"testing"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/datagen"
+	"dataproxy/internal/motif"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// smallProxy is a fast two-edge proxy benchmark used to exercise the tuner.
+func smallProxy() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "Proxy Tuner Test",
+		Workload:    "test",
+		Base:        core.Params{DataSize: 256 << 20, ChunkSize: 8 << 20, NumTasks: 4, Weight: 1},
+		SampleBytes: 128 << 10,
+		Input: func(seed int64, sampleBytes uint64, p core.Params) *motif.Dataset {
+			recs, _ := datagen.GenerateRecords(datagen.TextConfig{Seed: seed, Records: int(sampleBytes / datagen.RecordSize)})
+			return &motif.Dataset{Records: recs}
+		},
+		Edges: []core.Edge{
+			{Name: "sort", Impl: "quicksort", From: core.InputNode, To: "sorted", Weight: 0.8},
+			{Name: "stats", Impl: "count_statistics", From: core.InputNode, To: "stats", Weight: 0.2},
+		},
+	}
+}
+
+func singleNode() *sim.Cluster {
+	return sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+}
+
+// selfTarget measures the proxy itself under a given setting, so the tuner
+// has a reachable target.
+func selfTarget(t *testing.T, setting core.Setting) perf.Metrics {
+	t.Helper()
+	rep, err := core.Run(singleNode(), smallProxy(), setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Metrics
+}
+
+func fastOptions() Options {
+	return Options{
+		MaxIterations: 4,
+		ImpactFactors: []float64{0.7, 1.4},
+		Parameters:    []string{"dataSize", "numTasks"},
+		Metrics:       []string{"IPC", "MIPS", "L1D_hit", "branch_miss", "mem_bw"},
+	}
+}
+
+func TestTuneConvergesWhenTargetIsReachable(t *testing.T) {
+	// Target = the proxy itself with the default setting: the baseline should
+	// already be within the threshold, so the tuner must converge immediately
+	// without adjustments.
+	target := selfTarget(t, nil)
+	res, err := Tune(singleNode(), smallProxy(), target, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("tuner should converge on a self-target; report:\n%s", res.Report.String())
+	}
+	if res.Report.Average() < 0.95 {
+		t.Fatalf("self-target accuracy %.3f should be near 1", res.Report.Average())
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("tuner must have evaluated the proxy")
+	}
+}
+
+func TestTuneImprovesAccuracyTowardsShiftedTarget(t *testing.T) {
+	// Target = the proxy with a quarter of the task parallelism: its runtime
+	// stretches, so MIPS and the bandwidth metrics drop well below the
+	// baseline's and the tuner has to move the numTasks factor down.
+	target := selfTarget(t, core.Setting{"numTasks": 0.25})
+	opts := fastOptions()
+	opts.MaxIterations = 8
+	opts.Threshold = 0.10
+
+	baselineRep, err := core.Run(singleNode(), smallProxy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := perf.CompareMetrics(target, baselineRep.Metrics, opts.Metrics)
+
+	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Average() < baseline.Average() {
+		t.Fatalf("tuning should not reduce accuracy: baseline %.3f, tuned %.3f",
+			baseline.Average(), res.Report.Average())
+	}
+	if res.Evaluations <= len(opts.Parameters)*len(opts.ImpactFactors) {
+		t.Fatal("tuner should evaluate beyond the impact analysis")
+	}
+	if len(res.History) == 0 && !res.Converged {
+		t.Fatal("tuner should either converge or record adjustment attempts")
+	}
+	// The final setting must remain valid.
+	if err := res.Setting.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneHistoryRecordsAdjustments(t *testing.T) {
+	target := selfTarget(t, core.Setting{"numTasks": 0.25})
+	opts := fastOptions()
+	opts.Threshold = 0.02 // hard to satisfy -> must iterate
+	opts.MaxIterations = 3
+	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("a strict threshold should force at least one iteration")
+	}
+	for _, h := range res.History {
+		if h.Parameter == "" || h.Metric == "" {
+			t.Fatal("history entries must name the adjusted parameter and the triggering metric")
+		}
+		if h.Factor <= 0 {
+			t.Fatal("adjusted factors must stay positive")
+		}
+	}
+}
+
+func TestTuneFailsOnBrokenBenchmark(t *testing.T) {
+	b := smallProxy()
+	b.Edges[0].Impl = "nope"
+	if _, err := Tune(singleNode(), b, perf.Metrics{}, fastOptions()); err == nil {
+		t.Fatal("broken benchmark should surface an error")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Threshold != 0.15 {
+		t.Fatalf("default threshold %g, want the paper's 15%%", o.Threshold)
+	}
+	if o.MaxIterations <= 0 || o.Step <= 1 || len(o.Metrics) == 0 || len(o.Parameters) == 0 {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+	if o.MinFactor <= 0 || o.MaxFactor <= o.MinFactor {
+		t.Fatal("factor clamps must be ordered")
+	}
+}
+
+func TestClampAndAbs(t *testing.T) {
+	if clamp(5, 1, 3) != 3 || clamp(-1, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
+		t.Fatal("clamp misbehaves")
+	}
+	if abs(-2) != 2 || abs(3) != 3 {
+		t.Fatal("abs misbehaves")
+	}
+}
