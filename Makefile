@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test test-full bench lint fmt
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: fast verification — short mode with the race detector (what CI runs)
+test:
+	$(GO) test -short -race -timeout 10m ./...
+
+## test-full: the full paper-scale test suite (tier-1 gate)
+test-full:
+	$(GO) test -timeout 30m ./...
+
+## bench: run every benchmark once (tables/figures + kernel speedups)
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+## lint: gofmt cleanliness and go vet
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+## fmt: apply gofmt to the whole tree
+fmt:
+	gofmt -w .

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	benchharness [-only table6,figure4,...] [-tune]
+//	benchharness [-only table6,figure4,...] [-tune] [-parallel N]
 //
 // Without -only, all tables and figures are produced.  -tune runs the
 // decision-tree auto-tuner for each proxy benchmark against its real
-// workload before the accuracy figures are evaluated.
+// workload before the accuracy figures are evaluated.  -parallel fixes the
+// host worker count of the shared parallel execution engine; the default
+// (0) uses every CPU GOMAXPROCS grants.  Results are bit-identical across
+// worker counts — the knob only trades host wall-clock for CPU.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"dataproxy/internal/experiments"
+	"dataproxy/internal/parallel"
 )
 
 func main() {
@@ -25,7 +29,9 @@ func main() {
 	log.SetPrefix("benchharness: ")
 	only := flag.String("only", "", "comma-separated subset of experiments (e.g. table6,figure4)")
 	tune := flag.Bool("tune", false, "auto-tune each proxy benchmark before the accuracy experiments")
+	par := flag.Int("parallel", 0, "host worker count for kernel/suite execution (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	parallel.SetWorkers(*par)
 
 	wanted := map[string]bool{}
 	if *only != "" {
@@ -115,6 +121,18 @@ func main() {
 			}
 			return experiments.FormatSpeedupRows(rows), nil
 		}},
+	}
+
+	known := map[string]bool{}
+	for _, e := range list {
+		known[e.name] = true
+	}
+	// Reject typo'd experiment names before spending minutes running the
+	// valid ones.
+	for name := range wanted {
+		if !known[name] {
+			log.Fatalf("unknown experiment %q (known: table1-table7, figure4-figure10)", name)
+		}
 	}
 
 	failed := false

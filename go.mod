@@ -1,0 +1,3 @@
+module dataproxy
+
+go 1.24

@@ -13,6 +13,7 @@ package aimotif
 import (
 	"fmt"
 
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
@@ -55,8 +56,12 @@ const siteAI = 0x41490000 // branch-site namespace for AI motifs
 
 // Conv2D performs a 2-D convolution of in (N, C, H, W) with filters
 // (K, C, KH, KW) and returns the (N, K, OH, OW) output.  The computation is
-// real; the instruction stream and memory traffic are reported to ex at
-// output-row granularity to keep modelling overhead bounded.
+// real and parallelised over (batch, output-channel) output planes on the
+// shared worker pool — every plane is an independent output slice, so the
+// result is bit-identical to sequential execution.  The instruction stream
+// and memory traffic are reported to ex afterwards at output-row granularity
+// (in the same deterministic order as sequential execution) to keep
+// modelling overhead bounded.
 func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor, error) {
 	if in.Rank() != 4 || filters.Rank() != 4 {
 		return nil, fmt.Errorf("aimotif: Conv2D expects rank-4 input and filters, got %d and %d", in.Rank(), filters.Rank())
@@ -80,30 +85,21 @@ func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvCon
 	inData, fData, oData := in.Data(), filters.Data(), out.Data()
 	rIn, rF, rOut := regionOf(regs, ex, in), regionOf(regs, ex, filters), regionOf(regs, ex, out)
 
+	// Compute phase: one independent output plane per (batch, out-channel)
+	// pair, distributed over the worker pool.
+	parallel.For(n*k, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			b, oc := p/k, p%k
+			convPlane(inData, fData, oData, b, oc, k, c, h, w, kh, kw, oh, ow, stride, pad)
+		}
+	})
+
+	// Accounting phase: report one output row at a time — the row touches
+	// the filter once and a (kh x w) input window per channel.  This runs
+	// sequentially so the modelled event stream is deterministic.
 	for b := 0; b < n; b++ {
 		for oc := 0; oc < k; oc++ {
 			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var sum float32
-					for ic := 0; ic < c; ic++ {
-						for fy := 0; fy < kh; fy++ {
-							iy := oy*stride + fy - pad
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for fx := 0; fx < kw; fx++ {
-								ix := ox*stride + fx - pad
-								if ix < 0 || ix >= w {
-									continue
-								}
-								sum += inData[((b*c+ic)*h+iy)*w+ix] * fData[((oc*c+ic)*kh+fy)*kw+fx]
-							}
-						}
-					}
-					oData[((b*k+oc)*oh+oy)*ow+ox] = sum
-				}
-				// Account one output row at a time: the row touches the
-				// filter once and a (kh x w) input window per channel.
 				ex.Float(uint64(2 * ow * c * kh * kw))
 				ex.Int(uint64(ow * c * kh))
 				ex.Load(rF, uint64(oc*c*kh*kw)*4, uint64(c*kh*kw)*4)
@@ -114,6 +110,39 @@ func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvCon
 		}
 	}
 	return out, nil
+}
+
+// convPlane computes one (batch, output-channel) plane of the convolution.
+// The accumulation order over (ic, fy, fx) matches the original sequential
+// kernel exactly, so the floating-point results are bit-identical.
+func convPlane(inData, fData, oData []float32, b, oc, k, c, h, w, kh, kw, oh, ow, stride, pad int) {
+	outBase := (b*k + oc) * oh * ow
+	for oy := 0; oy < oh; oy++ {
+		outRow := oData[outBase+oy*ow : outBase+(oy+1)*ow]
+		for ox := 0; ox < ow; ox++ {
+			var sum float32
+			for ic := 0; ic < c; ic++ {
+				fBase := ((oc*c + ic) * kh) * kw
+				inPlane := (b*c + ic) * h
+				for fy := 0; fy < kh; fy++ {
+					iy := oy*stride + fy - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					fRow := fData[fBase+fy*kw : fBase+(fy+1)*kw]
+					inRow := inData[(inPlane+iy)*w : (inPlane+iy+1)*w]
+					for fx := 0; fx < kw; fx++ {
+						ix := ox*stride + fx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						sum += inRow[ix] * fRow[fx]
+					}
+				}
+			}
+			outRow[ox] = sum
+		}
+	}
 }
 
 // PoolKind selects max or average pooling.
@@ -149,8 +178,11 @@ func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, windo
 	out := tensor.New(n, c, oh, ow)
 	inData, oData := in.Data(), out.Data()
 	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
+
+	// Compute phase: one independent (batch, channel) plane per work item.
+	parallel.For(n*c, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			b, ch := p/c, p%c
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					var agg float32
@@ -174,6 +206,14 @@ func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, windo
 					}
 					oData[((b*c+ch)*oh+oy)*ow+ox] = agg
 				}
+			}
+		}
+	})
+
+	// Accounting phase, sequential and deterministic.
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
 				ex.Float(uint64(ow * window * window))
 				ex.Int(uint64(ow * window))
 				ex.Load(rIn, uint64(((b*c+ch)*h+oy*stride)*w)*4, uint64(window*w)*4)

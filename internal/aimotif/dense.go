@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
@@ -25,19 +26,34 @@ func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tenso
 	out := tensor.New(n, outDim)
 	inData, wData, oData := in.Data(), weights.Data(), out.Data()
 	rIn, rW, rOut := regionOf(regs, ex, in), regionOf(regs, ex, weights), regionOf(regs, ex, out)
-	for b := 0; b < n; b++ {
-		for o := 0; o < outDim; o++ {
-			var sum float32
-			for i := 0; i < inDim; i++ {
-				sum += inData[b*inDim+i] * wData[i*outDim+o]
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+
+	// Compute phase: each input row produces an independent output row, so
+	// the batch dimension parallelises on the worker pool with bit-identical
+	// results.
+	parallel.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			inRow := inData[b*inDim : (b+1)*inDim]
+			outRow := oData[b*outDim : (b+1)*outDim]
+			for o := 0; o < outDim; o++ {
+				var sum float32
+				for i := 0; i < inDim; i++ {
+					sum += inRow[i] * wData[i*outDim+o]
+				}
+				if biasData != nil {
+					sum += biasData[o]
+				}
+				outRow[o] = sum
 			}
-			if bias != nil {
-				sum += bias.Data()[o]
-			}
-			oData[b*outDim+o] = sum
 		}
-		// Per input row: the row is streamed once per output neuron, the
-		// weight matrix is streamed column-wise.
+	})
+
+	// Accounting phase, per input row: the row is streamed once per output
+	// neuron, the weight matrix is streamed column-wise.
+	for b := 0; b < n; b++ {
 		ex.Float(uint64(2 * inDim * outDim))
 		ex.Int(uint64(outDim))
 		ex.Load(rIn, uint64(b*inDim)*4, uint64(inDim)*4)

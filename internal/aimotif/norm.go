@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
@@ -21,31 +22,36 @@ func BatchNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, 
 	id, od := in.Data(), out.Data()
 	plane := h * w
 	const eps = 1e-5
-	for ch := 0; ch < c; ch++ {
-		var sum, sq float64
-		count := 0
-		for b := 0; b < n; b++ {
-			base := (b*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				v := float64(id[base+i])
-				sum += v
-				sq += v * v
-				count++
+	// Each channel's statistics and normalisation are independent, so the
+	// channel dimension parallelises on the worker pool; the per-channel
+	// accumulation order is unchanged, keeping results bit-identical.
+	parallel.For(c, 1, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			var sum, sq float64
+			count := 0
+			for b := 0; b < n; b++ {
+				base := (b*c + ch) * plane
+				for i := 0; i < plane; i++ {
+					v := float64(id[base+i])
+					sum += v
+					sq += v * v
+					count++
+				}
+			}
+			mean := sum / float64(count)
+			variance := sq/float64(count) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			inv := 1 / math.Sqrt(variance+eps)
+			for b := 0; b < n; b++ {
+				base := (b*c + ch) * plane
+				for i := 0; i < plane; i++ {
+					od[base+i] = float32((float64(id[base+i]) - mean) * inv)
+				}
 			}
 		}
-		mean := sum / float64(count)
-		variance := sq/float64(count) - mean*mean
-		if variance < 0 {
-			variance = 0
-		}
-		inv := 1 / math.Sqrt(variance+eps)
-		for b := 0; b < n; b++ {
-			base := (b*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				od[base+i] = float32((float64(id[base+i]) - mean) * inv)
-			}
-		}
-	}
+	})
 	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Load(rIn, 0, in.Bytes()) // second pass for normalisation
@@ -65,20 +71,24 @@ func CosineNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor,
 	per := in.Size() / n
 	out := tensor.New(in.Shape()...)
 	id, od := in.Data(), out.Data()
-	for b := 0; b < n; b++ {
-		var sq float64
-		for i := 0; i < per; i++ {
-			v := float64(id[b*per+i])
-			sq += v * v
+	// Samples normalise independently, so the batch dimension parallelises
+	// on the worker pool with bit-identical results.
+	parallel.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var sq float64
+			for i := 0; i < per; i++ {
+				v := float64(id[b*per+i])
+				sq += v * v
+			}
+			inv := 1.0
+			if sq > 0 {
+				inv = 1 / math.Sqrt(sq)
+			}
+			for i := 0; i < per; i++ {
+				od[b*per+i] = float32(float64(id[b*per+i]) * inv)
+			}
 		}
-		inv := 1.0
-		if sq > 0 {
-			inv = 1 / math.Sqrt(sq)
-		}
-		for i := 0; i < per; i++ {
-			od[b*per+i] = float32(float64(id[b*per+i]) * inv)
-		}
-	}
+	})
 	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Store(rOut, 0, out.Bytes())

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dataproxy/internal/aimotif"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
@@ -258,15 +259,19 @@ func concatChannels(ts []*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	out := tensor.New(n, totalC, h, w)
 	plane := h * w
-	for b := 0; b < n; b++ {
-		cOff := 0
-		for _, t := range ts {
-			c := t.Dim(1)
-			src := t.Data()[b*c*plane : (b+1)*c*plane]
-			dst := out.Data()[(b*totalC+cOff)*plane : (b*totalC+cOff+c)*plane]
-			copy(dst, src)
-			cOff += c
+	// Each batch element copies into a disjoint slice of the output, so the
+	// concatenation parallelises on the worker pool.
+	parallel.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			cOff := 0
+			for _, t := range ts {
+				c := t.Dim(1)
+				src := t.Data()[b*c*plane : (b+1)*c*plane]
+				dst := out.Data()[(b*totalC+cOff)*plane : (b*totalC+cOff+c)*plane]
+				copy(dst, src)
+				cOff += c
+			}
 		}
-	}
+	})
 	return out, nil
 }

@@ -111,6 +111,12 @@ type Result struct {
 // node acts as the parameter server, every worker executes its share of the
 // steps (sampled and extrapolated), exchanging gradients and parameters with
 // the parameter server after every step.
+//
+// In host time the per-worker tasks execute concurrently (one goroutine per
+// simulated node, via the cluster's parallel stage execution) and each
+// task's layer forwards additionally parallelise inside the aimotif kernels
+// over batch/output-channel slices; both levels share the worker pool of
+// package parallel and produce bit-identical results at any worker count.
 func Train(cluster *sim.Cluster, net *Network, cfg SessionConfig) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"flag"
+	"os"
 	"strings"
 	"testing"
 )
@@ -8,6 +10,15 @@ import (
 // The experiment suite runs the five real workloads on up to three cluster
 // configurations, so the package test reuses one shared suite.
 var shared = NewSuite()
+
+// TestMain propagates -short to the shared suite so the AI workloads run
+// with reduced sampling (the modelled workload scale keeps the paper's
+// orders of magnitude, only the host-side compute shrinks).
+func TestMain(m *testing.M) {
+	flag.Parse()
+	shared.Short = testing.Short()
+	os.Exit(m.Run())
+}
 
 func TestStaticTablesRender(t *testing.T) {
 	for name, table := range map[string]string{
@@ -171,6 +182,9 @@ func TestFigure8ProxyTracksBothInputs(t *testing.T) {
 }
 
 func TestTable7AndFigure9NewClusterConfiguration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the three-node cluster configuration study in short mode")
+	}
 	rows, err := shared.Table7()
 	if err != nil {
 		t.Fatal(err)
@@ -204,6 +218,9 @@ func TestTable7AndFigure9NewClusterConfiguration(t *testing.T) {
 }
 
 func TestFigure10CrossArchitectureTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the cross-architecture study in short mode")
+	}
 	rows, err := shared.Figure10()
 	if err != nil {
 		t.Fatal(err)
@@ -232,11 +249,11 @@ func TestSuiteCachesRealRuns(t *testing.T) {
 	if _, err := s.realReport("terasort", fiveNodeWestmere); err != nil {
 		t.Fatal(err)
 	}
-	before := len(s.realReports)
+	before := s.realReports.size()
 	if _, err := s.realReport("terasort", fiveNodeWestmere); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.realReports) != before {
+	if s.realReports.size() != before {
 		t.Fatal("repeated requests should reuse the cached report")
 	}
 	if _, err := s.realReport("nope", fiveNodeWestmere); err == nil {

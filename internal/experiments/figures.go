@@ -5,6 +5,7 @@ import (
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
@@ -19,22 +20,22 @@ type AccuracyRow struct {
 }
 
 func (s *Suite) accuracyRows(key clusterKey) ([]AccuracyRow, error) {
-	var rows []AccuracyRow
-	for _, short := range WorkloadOrder {
-		real, err := s.realReport(short, key)
+	rows := make([]AccuracyRow, len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		realRep, proxRep, err := s.reportPair(short, key)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prox, err := s.proxyReport(short, key)
-		if err != nil {
-			return nil, err
-		}
-		rep := perf.CompareMetrics(real.Metrics, prox.Metrics, nil)
-		rows = append(rows, AccuracyRow{
+		rep := perf.CompareMetrics(realRep.Metrics, proxRep.Metrics, nil)
+		rows[i] = AccuracyRow{
 			Workload:  displayName(short),
 			PerMetric: rep.PerMetric,
 			Average:   rep.Average(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -90,18 +91,18 @@ func mixRow(name string, m perf.Metrics) MixRow {
 // Figure5 reproduces Figure 5: the instruction mix breakdown of each real
 // workload and its proxy benchmark on the five-node Westmere cluster.
 func (s *Suite) Figure5() ([]MixRow, error) {
-	var rows []MixRow
-	for _, short := range WorkloadOrder {
-		real, err := s.realReport(short, fiveNodeWestmere)
+	rows := make([]MixRow, 2*len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		realRep, proxRep, err := s.reportPair(short, fiveNodeWestmere)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prox, err := s.proxyReport(short, fiveNodeWestmere)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, mixRow("Hadoop/TF "+displayName(short), real.Metrics))
-		rows = append(rows, mixRow("Proxy "+displayName(short), prox.Metrics))
+		rows[2*i] = mixRow("Hadoop/TF "+displayName(short), realRep.Metrics)
+		rows[2*i+1] = mixRow("Proxy "+displayName(short), proxRep.Metrics)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -133,21 +134,21 @@ type DiskRow struct {
 // Figure6 reproduces Figure 6: average disk I/O bandwidth of the real and
 // proxy benchmarks.
 func (s *Suite) Figure6() ([]DiskRow, error) {
-	var rows []DiskRow
-	for _, short := range WorkloadOrder {
-		real, err := s.realReport(short, fiveNodeWestmere)
+	rows := make([]DiskRow, len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		realRep, proxRep, err := s.reportPair(short, fiveNodeWestmere)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prox, err := s.proxyReport(short, fiveNodeWestmere)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, DiskRow{
+		rows[i] = DiskRow{
 			Workload:  displayName(short),
-			RealMBps:  real.Metrics.DiskBW / 1e6,
-			ProxyMBps: prox.Metrics.DiskBW / 1e6,
-		})
+			RealMBps:  realRep.Metrics.DiskBW / 1e6,
+			ProxyMBps: proxRep.Metrics.DiskBW / 1e6,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -178,13 +179,18 @@ type Figure7Result struct {
 }
 
 // Figure7 measures the data-impact experiment on the real Hadoop K-means.
+// The sparse and dense runs are independent and execute concurrently.
 func (s *Suite) Figure7() (Figure7Result, error) {
-	sparse, err := s.realReport("kmeans", fiveNodeWestmere)
-	if err != nil {
+	var sparse, dense sim.Report
+	var sparseErr, denseErr error
+	parallel.Do(
+		func() { sparse, sparseErr = s.realReport("kmeans", fiveNodeWestmere) },
+		func() { dense, denseErr = s.realKMeansDense() },
+	)
+	if err := sparseErr; err != nil {
 		return Figure7Result{}, err
 	}
-	dense, err := s.realKMeansDense()
-	if err != nil {
+	if err := denseErr; err != nil {
 		return Figure7Result{}, err
 	}
 	return Figure7Result{
@@ -198,26 +204,18 @@ func (s *Suite) Figure7() (Figure7Result, error) {
 }
 
 func (s *Suite) realKMeansDense() (sim.Report, error) {
-	s.mu.Lock()
-	if rep, ok := s.realReports["kmeans-dense/"+string(fiveNodeWestmere)]; ok {
-		s.mu.Unlock()
-		return rep, nil
-	}
-	s.mu.Unlock()
-	cfg := workloads.DefaultKMeans()
-	cfg.Sparsity = 0
-	cluster, err := sim.NewCluster(clusterConfig(fiveNodeWestmere))
-	if err != nil {
-		return sim.Report{}, err
-	}
-	if err := workloads.KMeans(cfg).Run(cluster); err != nil {
-		return sim.Report{}, err
-	}
-	rep := cluster.Report("Hadoop K-means (dense)")
-	s.mu.Lock()
-	s.realReports["kmeans-dense/"+string(fiveNodeWestmere)] = rep
-	s.mu.Unlock()
-	return rep, nil
+	return s.realReports.get(s.cacheID("kmeans-dense", fiveNodeWestmere), func() (sim.Report, error) {
+		cfg := workloads.DefaultKMeans()
+		cfg.Sparsity = 0
+		cluster, err := sim.NewCluster(clusterConfig(fiveNodeWestmere))
+		if err != nil {
+			return sim.Report{}, err
+		}
+		if err := workloads.KMeans(cfg).Run(cluster); err != nil {
+			return sim.Report{}, err
+		}
+		return cluster.Report("Hadoop K-means (dense)"), nil
+	})
 }
 
 // FormatFigure7 renders the sparse/dense memory bandwidth comparison.
@@ -240,26 +238,29 @@ type Figure8Result struct {
 }
 
 // Figure8 evaluates the same proxy benchmark under both input sparsities.
+// The two real measurements and the sparse proxy measurement are
+// independent, so they run concurrently on the worker pool.
 func (s *Suite) Figure8() (Figure8Result, error) {
-	// Sparse case: the regular Figure 4 measurement.
-	realSparse, err := s.realReport("kmeans", fiveNodeWestmere)
-	if err != nil {
-		return Figure8Result{}, err
-	}
-	proxSparse, err := s.proxyReport("kmeans", fiveNodeWestmere)
-	if err != nil {
-		return Figure8Result{}, err
+	var realSparse, proxSparse, realDense sim.Report
+	var sparseErr, proxErr, denseErr error
+	parallel.Do(
+		// Sparse case: the regular Figure 4 measurement.
+		func() { realSparse, sparseErr = s.realReport("kmeans", fiveNodeWestmere) },
+		func() { proxSparse, proxErr = s.proxyReport("kmeans", fiveNodeWestmere) },
+		// Dense case input: the dense real workload.
+		func() { realDense, denseErr = s.realKMeansDense() },
+	)
+	for _, err := range []error{sparseErr, proxErr, denseErr} {
+		if err != nil {
+			return Figure8Result{}, err
+		}
 	}
 	sparseRep := perf.CompareMetrics(realSparse.Metrics, proxSparse.Metrics, nil)
 
 	// Dense case: the same proxy benchmark (same DAG, weights and setting),
 	// driven by dense input data, against the dense real workload.
-	realDense, err := s.realKMeansDense()
-	if err != nil {
-		return Figure8Result{}, err
-	}
 	b := proxy.KMeansWithSparsity(0)
-	setting, err := s.settingFor("kmeans", fiveNodeWestmere, b)
+	setting, err := s.settingFor("kmeans", b)
 	if err != nil {
 		return Figure8Result{}, err
 	}
@@ -289,31 +290,34 @@ type SpeedupRow struct {
 
 // Figure10 reproduces Figure 10: runtime speedup across the Westmere and
 // Haswell processors for the real workloads and the (recompiled, otherwise
-// identical) proxy benchmarks, both on the three-node cluster.
+// identical) proxy benchmarks, both on the three-node cluster.  All four
+// measurements of every workload are independent and run concurrently on
+// the worker pool.
 func (s *Suite) Figure10() ([]SpeedupRow, error) {
-	var rows []SpeedupRow
-	for _, short := range WorkloadOrder {
-		realWest, err := s.realReport(short, threeNodeWestmere)
-		if err != nil {
-			return nil, err
+	rows := make([]SpeedupRow, len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		var realWest, realHas, proxWest, proxHas sim.Report
+		errs := make([]error, 4)
+		parallel.Do(
+			func() { realWest, errs[0] = s.realReport(short, threeNodeWestmere) },
+			func() { realHas, errs[1] = s.realReport(short, threeNodeHaswell) },
+			func() { proxWest, errs[2] = s.proxyReport(short, threeNodeWestmere) },
+			func() { proxHas, errs[3] = s.proxyReport(short, threeNodeHaswell) },
+		)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
-		realHas, err := s.realReport(short, threeNodeHaswell)
-		if err != nil {
-			return nil, err
-		}
-		proxWest, err := s.proxyReport(short, threeNodeWestmere)
-		if err != nil {
-			return nil, err
-		}
-		proxHas, err := s.proxyReport(short, threeNodeHaswell)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SpeedupRow{
+		rows[i] = SpeedupRow{
 			Workload:     displayName(short),
 			RealSpeedup:  sim.Speedup(realWest.Runtime, realHas.Runtime),
 			ProxySpeedup: sim.Speedup(proxWest.Runtime, proxHas.Runtime),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

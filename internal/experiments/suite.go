@@ -21,6 +21,7 @@ import (
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tuner"
@@ -33,26 +34,76 @@ var WorkloadOrder = []string{"terasort", "kmeans", "pagerank", "alexnet", "incep
 // Suite runs and caches the real-workload and proxy-benchmark measurements
 // that the individual tables and figures are derived from, so that
 // regenerating several tables does not re-execute the same workloads.
+//
+// Caching is per-key singleflight rather than one suite-wide lock: each
+// (workload, cluster) measurement runs at most once, and independent
+// measurements — different workloads, different cluster configurations, the
+// real run and the proxy run of the same workload — execute concurrently on
+// the shared worker pool when tables are generated.  All methods are safe
+// for concurrent use.
 type Suite struct {
-	mu sync.Mutex
 	// Tune enables auto-tuning of each proxy benchmark against its real
 	// workload before the accuracy figures are produced.
 	Tune bool
 	// TuneOptions configures the tuner when Tune is enabled.
 	TuneOptions tuner.Options
+	// Short selects the reduced-sampling workload configurations (fewer AI
+	// training steps, less host-side sampled compute) used by -short test
+	// runs.  Virtual results keep the paper's orders of magnitude.
+	Short bool
 
-	realReports  map[string]sim.Report
-	proxyReports map[string]sim.Report
-	settings     map[string]core.Setting
+	realReports  reportCache
+	proxyReports reportCache
+
+	settingsMu sync.Mutex
+	settings   map[string]*settingEntry
 }
 
 // NewSuite returns an empty suite.
 func NewSuite() *Suite {
-	return &Suite{
-		realReports:  make(map[string]sim.Report),
-		proxyReports: make(map[string]sim.Report),
-		settings:     make(map[string]core.Setting),
+	return &Suite{settings: make(map[string]*settingEntry)}
+}
+
+// reportCache is a per-key singleflight cache of cluster reports: the first
+// caller of a key runs the measurement, concurrent callers of the same key
+// block for that result, and different keys never contend.
+type reportCache struct {
+	mu      sync.Mutex
+	entries map[string]*reportEntry
+}
+
+type reportEntry struct {
+	once sync.Once
+	rep  sim.Report
+	err  error
+}
+
+func (c *reportCache) get(id string, run func() (sim.Report, error)) (sim.Report, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[string]*reportEntry)
 	}
+	e := c.entries[id]
+	if e == nil {
+		e = &reportEntry{}
+		c.entries[id] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.rep, e.err = run() })
+	return e.rep, e.err
+}
+
+// size returns the number of cached (or in-flight) entries.
+func (c *reportCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+type settingEntry struct {
+	once    sync.Once
+	setting core.Setting
+	err     error
 }
 
 // clusterKey identifies the cluster configurations used by the paper.
@@ -82,77 +133,107 @@ func proxyProfile(key clusterKey) arch.Profile {
 	return arch.Westmere()
 }
 
-func workloadSet(key clusterKey) []workloads.Spec {
+func (s *Suite) workloadSet(key clusterKey) []workloads.Spec {
+	if s.Short {
+		if key == fiveNodeWestmere {
+			return workloads.ShortPaperWorkloads()
+		}
+		return workloads.ShortNewClusterWorkloads()
+	}
 	if key == fiveNodeWestmere {
 		return workloads.PaperWorkloads()
 	}
 	return workloads.NewClusterWorkloads()
 }
 
+// cacheID builds the cache key of one (workload, cluster) measurement.
+// The Short flag is part of the key, so a suite whose Short field is
+// toggled between calls never mixes full-scale and reduced-sampling
+// reports.
+func (s *Suite) cacheID(short string, key clusterKey) string {
+	id := short + "/" + string(key)
+	if s.Short {
+		return "short/" + id
+	}
+	return id
+}
+
 // realReport runs (or returns the cached run of) one real workload on the
 // given cluster configuration.
 func (s *Suite) realReport(short string, key clusterKey) (sim.Report, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := short + "/" + string(key)
-	if rep, ok := s.realReports[id]; ok {
-		return rep, nil
-	}
-	var spec workloads.Spec
-	found := false
-	for _, w := range workloadSet(key) {
-		if w.ShortName == short {
-			spec, found = w, true
-			break
+	return s.realReports.get(s.cacheID(short, key), func() (sim.Report, error) {
+		var spec workloads.Spec
+		found := false
+		for _, w := range s.workloadSet(key) {
+			if w.ShortName == short {
+				spec, found = w, true
+				break
+			}
 		}
-	}
-	if !found {
-		return sim.Report{}, fmt.Errorf("experiments: unknown workload %q", short)
-	}
-	cluster, err := sim.NewCluster(clusterConfig(key))
-	if err != nil {
-		return sim.Report{}, err
-	}
-	if err := spec.Run(cluster); err != nil {
-		return sim.Report{}, fmt.Errorf("experiments: running %s: %w", spec.Name, err)
-	}
-	rep := cluster.Report(spec.Name)
-	s.realReports[id] = rep
-	return rep, nil
+		if !found {
+			return sim.Report{}, fmt.Errorf("experiments: unknown workload %q", short)
+		}
+		cluster, err := sim.NewCluster(clusterConfig(key))
+		if err != nil {
+			return sim.Report{}, err
+		}
+		if err := spec.Run(cluster); err != nil {
+			return sim.Report{}, fmt.Errorf("experiments: running %s: %w", spec.Name, err)
+		}
+		return cluster.Report(spec.Name), nil
+	})
 }
 
 // proxyReport runs (or returns the cached run of) one proxy benchmark on a
 // single node with the given processor generation, optionally tuning it
 // against the real workload's metrics first.
 func (s *Suite) proxyReport(short string, key clusterKey) (sim.Report, error) {
-	id := short + "/" + string(key)
-	s.mu.Lock()
-	if rep, ok := s.proxyReports[id]; ok {
-		s.mu.Unlock()
-		return rep, nil
-	}
-	s.mu.Unlock()
+	return s.proxyReports.get(s.cacheID(short, key), func() (sim.Report, error) {
+		b, err := proxy.ForWorkload(short)
+		if err != nil {
+			return sim.Report{}, err
+		}
+		setting, err := s.settingFor(short, b)
+		if err != nil {
+			return sim.Report{}, err
+		}
+		cluster, err := sim.NewCluster(sim.SingleNode(proxyProfile(key), 0))
+		if err != nil {
+			return sim.Report{}, err
+		}
+		return core.Run(cluster, b, setting)
+	})
+}
 
-	b, err := proxy.ForWorkload(short)
-	if err != nil {
-		return sim.Report{}, err
+// reportPair fetches the real and the proxy report of one workload,
+// concurrently when worker capacity is available.
+func (s *Suite) reportPair(short string, key clusterKey) (realRep, proxRep sim.Report, err error) {
+	var realErr, proxErr error
+	parallel.Do(
+		func() { realRep, realErr = s.realReport(short, key) },
+		func() { proxRep, proxErr = s.proxyReport(short, key) },
+	)
+	if realErr != nil {
+		return realRep, proxRep, realErr
 	}
-	setting, err := s.settingFor(short, key, b)
-	if err != nil {
-		return sim.Report{}, err
+	return realRep, proxRep, proxErr
+}
+
+// forEachWorkload runs fn for every workload of WorkloadOrder, concurrently
+// on the shared worker pool, and returns the first error in workload order.
+func forEachWorkload(fn func(i int, short string) error) error {
+	errs := make([]error, len(WorkloadOrder))
+	parallel.For(len(WorkloadOrder), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = fn(i, WorkloadOrder[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	cluster, err := sim.NewCluster(sim.SingleNode(proxyProfile(key), 0))
-	if err != nil {
-		return sim.Report{}, err
-	}
-	rep, err := core.Run(cluster, b, setting)
-	if err != nil {
-		return sim.Report{}, err
-	}
-	s.mu.Lock()
-	s.proxyReports[id] = rep
-	s.mu.Unlock()
-	return rep, nil
+	return nil
 }
 
 // settingFor returns the tuned (or default) parameter setting for a proxy.
@@ -160,16 +241,25 @@ func (s *Suite) proxyReport(short string, key clusterKey) (sim.Report, error) {
 // workload, and the same qualified proxy benchmark is then reused everywhere
 // — that reuse across data sets, cluster configurations and architectures is
 // exactly what the paper's case studies evaluate.
-func (s *Suite) settingFor(short string, key clusterKey, b *core.Benchmark) (core.Setting, error) {
-	s.mu.Lock()
-	if st, ok := s.settings[short]; ok {
-		s.mu.Unlock()
-		return st, nil
-	}
-	s.mu.Unlock()
+func (s *Suite) settingFor(short string, b *core.Benchmark) (core.Setting, error) {
 	if !s.Tune {
 		return core.DefaultSetting(), nil
 	}
+	s.settingsMu.Lock()
+	if s.settings == nil {
+		s.settings = make(map[string]*settingEntry)
+	}
+	e := s.settings[short]
+	if e == nil {
+		e = &settingEntry{}
+		s.settings[short] = e
+	}
+	s.settingsMu.Unlock()
+	e.once.Do(func() { e.setting, e.err = s.tuneSetting(short, b) })
+	return e.setting, e.err
+}
+
+func (s *Suite) tuneSetting(short string, b *core.Benchmark) (core.Setting, error) {
 	target, err := s.realReport(short, fiveNodeWestmere)
 	if err != nil {
 		return nil, err
@@ -182,10 +272,6 @@ func (s *Suite) settingFor(short string, key clusterKey, b *core.Benchmark) (cor
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.settings[short] = res.Setting
-	s.mu.Unlock()
-	_ = key
 	return res.Setting, nil
 }
 

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSuiteConcurrentReportGeneration is the -race regression test for the
+// per-key singleflight caching: many goroutines request overlapping real and
+// proxy reports (same keys and different keys) at once.  Each measurement
+// must run exactly once, all callers must observe the same cached result,
+// and the race detector must stay quiet.
+func TestSuiteConcurrentReportGeneration(t *testing.T) {
+	s := NewSuite()
+	s.Short = testing.Short()
+
+	type req struct {
+		short string
+		proxy bool
+	}
+	// Cheap big-data workloads only: the point is cache contention, not
+	// compute.  Every request is issued twice to exercise the singleflight
+	// path from concurrent callers.
+	reqs := []req{
+		{"terasort", false}, {"terasort", false},
+		{"terasort", true}, {"terasort", true},
+		{"pagerank", false}, {"pagerank", false},
+		{"pagerank", true}, {"pagerank", true},
+	}
+
+	runtimes := make([]float64, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r.proxy {
+				rep, err := s.proxyReport(r.short, fiveNodeWestmere)
+				runtimes[i], errs[i] = rep.Runtime, err
+				return
+			}
+			rep, err := s.realReport(r.short, fiveNodeWestmere)
+			runtimes[i], errs[i] = rep.Runtime, err
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d (%+v) failed: %v", i, reqs[i], err)
+		}
+	}
+	// Duplicate requests must observe the identical cached report.
+	for i := 0; i < len(reqs); i += 2 {
+		if runtimes[i] != runtimes[i+1] {
+			t.Fatalf("requests %d and %d for %+v returned different runtimes (%g vs %g): cache miss",
+				i, i+1, reqs[i], runtimes[i], runtimes[i+1])
+		}
+		if runtimes[i] <= 0 {
+			t.Fatalf("request %d (%+v) returned non-positive runtime", i, reqs[i])
+		}
+	}
+	// Two real and two proxy measurements, each singleflighted.
+	if got := s.realReports.size(); got != 2 {
+		t.Fatalf("real report cache holds %d entries, want 2", got)
+	}
+	if got := s.proxyReports.size(); got != 2 {
+		t.Fatalf("proxy report cache holds %d entries, want 2", got)
+	}
+}
+
+// TestTablesConcurrently generates two tables that share measurements from
+// separate goroutines; with the suite-wide lock this serialised, with
+// per-key singleflight it overlaps without duplicating any run.
+func TestTablesConcurrently(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestSuiteConcurrentReportGeneration in short mode")
+	}
+	s := NewSuite()
+	var rows6, rowsF []int
+	var err6, errF error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rows, err := s.Table6()
+		rows6, err6 = []int{len(rows)}, err
+	}()
+	go func() {
+		defer wg.Done()
+		rows, err := s.Figure4()
+		rowsF, errF = []int{len(rows)}, err
+	}()
+	wg.Wait()
+	if err6 != nil || errF != nil {
+		t.Fatalf("concurrent table generation failed: %v / %v", err6, errF)
+	}
+	if rows6[0] != 5 || rowsF[0] != 5 {
+		t.Fatalf("expected 5 rows each, got %d and %d", rows6[0], rowsF[0])
+	}
+	// Table VI and Figure 4 share the same 5 real and 5 proxy measurements.
+	if got := s.realReports.size(); got != 5 {
+		t.Fatalf("real report cache holds %d entries, want 5", got)
+	}
+}

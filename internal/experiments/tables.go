@@ -105,22 +105,22 @@ type RuntimeRow struct {
 }
 
 func (s *Suite) runtimeRows(key clusterKey) ([]RuntimeRow, error) {
-	var rows []RuntimeRow
-	for _, short := range WorkloadOrder {
-		real, err := s.realReport(short, key)
+	rows := make([]RuntimeRow, len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		realRep, proxRep, err := s.reportPair(short, key)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prox, err := s.proxyReport(short, key)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, RuntimeRow{
+		rows[i] = RuntimeRow{
 			Workload:     displayName(short),
-			RealSeconds:  real.Runtime,
-			ProxySeconds: prox.Runtime,
-			Speedup:      sim.Speedup(real.Runtime, prox.Runtime),
-		})
+			RealSeconds:  realRep.Runtime,
+			ProxySeconds: proxRep.Runtime,
+			Speedup:      sim.Speedup(realRep.Runtime, proxRep.Runtime),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -94,7 +94,13 @@ func runMatrixMultiplication(ex *sim.Exec, in *Dataset) *Dataset {
 			// Row of A is streamed, column of B is strided: report one
 			// sequential load for the row and one strided touch per element
 			// of the column (strides are what make matmul cache-sensitive).
-			ex.Load(ra, uint64(i*n)*8, uint64(n)*8)
+			// The row stays L1-resident while its output row is produced, so
+			// only its first stream is pushed through the cache model.
+			if j == 0 {
+				ex.Load(ra, uint64(i*n)*8, uint64(n)*8)
+			} else {
+				ex.LoadResident(ra, uint64(i*n)*8, uint64(n)*8)
+			}
 			for k := 0; k < n; k += 8 {
 				ex.Touch(ra, uint64(k*n+j)*8, false)
 			}
@@ -194,7 +200,13 @@ func runEuclideanDistance(ex *sim.Exec, in *Dataset) *Dataset {
 		ex.Load(rv, uint64(i*dim)*8, uint64(dim)*8)
 		best, bestDist := 0, math.MaxFloat64
 		for c, cent := range cents {
-			ex.Load(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			// The centroid block stays resident after the first vector has
+			// streamed it.
+			if i == 0 {
+				ex.Load(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			} else {
+				ex.LoadResident(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			}
 			var sum float64
 			nonZero := 0
 			for j := range v {
@@ -237,7 +249,11 @@ func runCosineDistance(ex *sim.Exec, in *Dataset) *Dataset {
 		ex.Load(rv, uint64(i*dim)*8, uint64(dim)*8)
 		best := -math.MaxFloat64
 		for c, cent := range cents {
-			ex.Load(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			if i == 0 {
+				ex.Load(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			} else {
+				ex.LoadResident(centRegion, uint64(c*dim)*8, uint64(dim)*8)
+			}
 			var dot, na, nb float64
 			nonZero := 0
 			for j := range v {

@@ -1,6 +1,8 @@
 package motif
 
 import (
+	"sort"
+
 	"dataproxy/internal/datagen"
 	"dataproxy/internal/sim"
 )
@@ -84,7 +86,15 @@ func runCountStatistics(ex *sim.Exec, in *Dataset) *Dataset {
 		ex.Touch(table, uint64(uint64(k)%4096)*16, true)
 	}
 	out := &Dataset{}
-	for k, g := range groups {
+	// Emit groups in sorted key order so the output — and the accounting of
+	// every downstream motif consuming it — is deterministic across runs.
+	orderedKeys := make([]int64, 0, len(groups))
+	for k := range groups {
+		orderedKeys = append(orderedKeys, k)
+	}
+	sort.Slice(orderedKeys, func(i, j int) bool { return orderedKeys[i] < orderedKeys[j] })
+	for _, k := range orderedKeys {
+		g := groups[k]
 		out.Keys = append(out.Keys, k)
 		avg := float64(0)
 		if g.count > 0 {
@@ -121,16 +131,20 @@ func runProbabilityStatistics(ex *sim.Exec, in *Dataset) *Dataset {
 			freq[key]++
 		}
 	}
+	orderedWords := make([]string, 0, len(freq))
 	total := float64(0)
-	for _, c := range freq {
+	for w, c := range freq {
+		orderedWords = append(orderedWords, w)
 		total += float64(c)
 	}
+	// Sorted emission keeps the output deterministic for downstream motifs.
+	sort.Strings(orderedWords)
 	out := &Dataset{}
-	for w, c := range freq {
+	for _, w := range orderedWords {
 		out.Words = append(out.Words, w)
 		p := 0.0
 		if total > 0 {
-			p = float64(c) / total
+			p = float64(freq[w]) / total
 		}
 		out.Floats = append(out.Floats, p)
 		ex.Float(1)

@@ -1,0 +1,143 @@
+// Package parallel is the shared worker-pool execution engine used by the
+// compute hot paths (the aimotif kernels, the dataflow forward passes and
+// the sim cluster's per-node task groups) and by the experiment harness.
+//
+// The engine bounds the total host concurrency of the whole process with one
+// global token pool: a call to For or Do always executes on the calling
+// goroutine and additionally recruits helper goroutines only while pool
+// tokens are available.  Nested parallelism (a parallel kernel inside a
+// parallel cluster stage inside a parallel table generation) therefore
+// degrades gracefully to sequential execution instead of oversubscribing the
+// machine.  With a single worker (the default on a one-CPU host) every call
+// runs inline, so sequential behaviour is the natural fallback, and results
+// are bit-identical between the sequential and parallel paths because work
+// items only ever write disjoint outputs.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool holds the helper tokens: Workers()-1 tokens, because the calling
+// goroutine always counts as the first worker.
+var pool atomic.Pointer[poolState]
+
+type poolState struct {
+	workers int
+	tokens  chan struct{}
+}
+
+func init() {
+	SetWorkers(0)
+}
+
+func newPool(workers int) *poolState {
+	p := &poolState{workers: workers, tokens: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Workers returns the configured worker count (≥ 1).
+func Workers() int { return pool.Load().workers }
+
+// SetWorkers fixes the engine's worker count and returns the previous value.
+// n <= 0 selects runtime.GOMAXPROCS(0) (which follows runtime.NumCPU unless
+// overridden).  SetWorkers is intended for process start-up (flag parsing,
+// TestMain, benchmark set-up); calls racing with in-flight For/Do work leave
+// that work on the pool it started with.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	prev := pool.Swap(newPool(n))
+	if prev == nil {
+		return 0
+	}
+	return prev.workers
+}
+
+// For partitions [0, n) into contiguous chunks of at least minGrain items
+// and runs fn(lo, hi) on each chunk, using up to Workers() goroutines
+// (including the caller).  It returns when every chunk has completed.  A
+// panic in any chunk is re-raised on the calling goroutine after all other
+// chunks finish.
+//
+// Chunks are disjoint, cover [0, n) exactly, and are handed out in index
+// order, so callers that write only to out[lo:hi] are race-free and produce
+// output independent of the worker count.
+func For(n, minGrain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	p := pool.Load()
+	chunks := p.workers
+	if byGrain := (n + minGrain - 1) / minGrain; byGrain < chunks {
+		chunks = byGrain
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+
+	var next int64
+	var panicked atomic.Pointer[recovered]
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= chunks {
+				return
+			}
+			lo, hi := i*n/chunks, (i+1)*n/chunks
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, &recovered{r})
+					}
+				}()
+				fn(lo, hi)
+			}()
+		}
+	}
+
+	var wg sync.WaitGroup
+recruit:
+	for helpers := 0; helpers < chunks-1; helpers++ {
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				work()
+			}()
+		default:
+			break recruit // no spare capacity; the caller runs the rest inline
+		}
+	}
+	work()
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r.value)
+	}
+}
+
+type recovered struct{ value any }
+
+// Do runs the given functions concurrently on up to Workers() goroutines
+// (including the caller) and returns when all of them have finished.  It is
+// the fan-out primitive for heterogeneous work such as generating the
+// independent real/proxy reports of an experiment table.
+func Do(fns ...func()) {
+	For(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dataproxy/internal/arch"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 )
 
@@ -106,8 +107,9 @@ func (c *Cluster) Reset() {
 // Run executes the tasks, distributing unpinned tasks round-robin across the
 // worker nodes, and advances the cluster clock by the stage's virtual
 // duration (the slowest node's time, with CPU and I/O partially overlapped).
-// Tasks execute deterministically in order; concurrency is modelled in
-// virtual time, not host time.
+// Tasks execute deterministically; concurrency is modelled in virtual time,
+// while in host time independent nodes' task groups run concurrently on the
+// parallel engine.
 func (c *Cluster) Run(stage string, tasks []Task) StageResult {
 	return c.RunStage(stage, tasks, 0)
 }
@@ -126,54 +128,72 @@ func (c *Cluster) RunStage(stage string, tasks []Task, parallelismPerNode int) S
 		workers = c.nodes
 	}
 
+	// Group the tasks by the node they resolve to, preserving the per-node
+	// task order of the round-robin distribution.  Each group executes
+	// sequentially on one host goroutine, because its Execs share the node's
+	// cache hierarchy, address allocator and counters; independent nodes run
+	// concurrently on the parallel engine.  Every node sees exactly the task
+	// sequence (and therefore the allocation and cache-access sequence) it
+	// would see under fully sequential execution, so stage results are
+	// independent of the host worker count.
 	type nodeStage struct {
+		node    *Node
+		tasks   []Task
 		cycles  uint64
 		diskSec float64
 		netSec  float64
-		tasks   int
 	}
-	acc := make(map[int]*nodeStage)
-
+	var groups []*nodeStage
+	byNode := make(map[int]*nodeStage)
 	for i, t := range tasks {
 		node := c.nodeForTask(t, i, workers)
-		ex := newExec(node, node.execSeq, t.Scale)
-		node.execSeq++
-		if t.Fn != nil {
-			t.Fn(ex)
-		}
-		ex.Finish()
-		ns := acc[node.id]
+		ns := byNode[node.id]
 		if ns == nil {
-			ns = &nodeStage{}
-			acc[node.id] = ns
+			ns = &nodeStage{node: node}
+			byNode[node.id] = ns
+			groups = append(groups, ns)
 		}
-		ns.cycles += ex.counters.Cycles
-		ns.diskSec += ex.diskSeconds
-		ns.netSec += ex.netSeconds
-		ns.tasks++
+		ns.tasks = append(ns.tasks, t)
 	}
+
+	parallel.For(len(groups), 1, func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			ns := groups[gi]
+			for _, t := range ns.tasks {
+				ex := newExec(ns.node, ns.node.execSeq, t.Scale)
+				ns.node.execSeq++
+				if t.Fn != nil {
+					t.Fn(ex)
+				}
+				ex.Finish()
+				ns.cycles += ex.counters.Cycles
+				ns.diskSec += ex.diskSeconds
+				ns.netSec += ex.netSeconds
+			}
+		}
+	})
 
 	res := StageResult{Name: stage, Tasks: len(tasks), PerNodeSeconds: make(map[int]float64)}
 	p := c.cfg.Profile
-	for id, ns := range acc {
-		parallel := ns.tasks
+	for _, ns := range groups {
+		slots := len(ns.tasks)
 		if parallelismPerNode > 0 {
-			parallel = parallelismPerNode
+			slots = parallelismPerNode
 		}
-		if cores := p.TotalCores(); parallel > cores {
-			parallel = cores
+		if cores := p.TotalCores(); slots > cores {
+			slots = cores
 		}
-		if parallel < 1 {
-			parallel = 1
+		if slots < 1 {
+			slots = 1
 		}
-		cpuSec := float64(ns.cycles) / p.FrequencyHz / float64(parallel)
+		cpuSec := float64(ns.cycles) / p.FrequencyHz / float64(slots)
 		ioSec := ns.diskSec + ns.netSec
 		nodeSec := composeTime(cpuSec, ioSec, c.cfg.IOOverlapFactor)
-		res.PerNodeSeconds[id] = nodeSec
+		res.PerNodeSeconds[ns.node.id] = nodeSec
 		if nodeSec > res.Seconds {
 			res.Seconds = nodeSec
 		}
-		c.nodes[id].cpuSeconds += cpuSec
+		ns.node.cpuSeconds += cpuSec
 	}
 	c.elapsed += res.Seconds
 	c.stages = append(c.stages, res)

@@ -48,6 +48,14 @@ type ClusterConfig struct {
 	// extrapolated.  Zero selects the default.
 	MaxModelOpsPerCall int
 
+	// MaxModelFetchesPerCall caps the number of instruction fetches pushed
+	// through the L1I model for one bulk Int/Float/Load/Store call, mirroring
+	// MaxModelOpsPerCall on the instruction side: a bulk-counted block of
+	// instructions (e.g. the parameter server streaming millions of gradient
+	// updates) is sampled up to this cap and the rest is extrapolated at
+	// Finish.  Zero selects the default.
+	MaxModelFetchesPerCall int
+
 	// IOOverlapFactor in [0,1] controls how much of the smaller of CPU time
 	// and I/O time overlaps with the larger when composing a stage's
 	// duration (1 = perfect overlap, 0 = fully serialised).
@@ -55,9 +63,10 @@ type ClusterConfig struct {
 }
 
 const (
-	defaultEventSampleRate    = 4
-	defaultMaxModelOpsPerCall = 512
-	defaultIOOverlap          = 0.7
+	defaultEventSampleRate        = 4
+	defaultMaxModelOpsPerCall     = 512
+	defaultMaxModelFetchesPerCall = 64
+	defaultIOOverlap              = 0.7
 
 	// GiB is one gibibyte in bytes.
 	GiB = uint64(1024 * 1024 * 1024)
@@ -87,6 +96,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.MaxModelOpsPerCall <= 0 {
 		c.MaxModelOpsPerCall = defaultMaxModelOpsPerCall
+	}
+	if c.MaxModelFetchesPerCall <= 0 {
+		c.MaxModelFetchesPerCall = defaultMaxModelFetchesPerCall
 	}
 	if c.IOOverlapFactor == 0 {
 		c.IOOverlapFactor = defaultIOOverlap

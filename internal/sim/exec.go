@@ -140,22 +140,47 @@ func (e *Exec) nextRand() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// countInstr adds n instructions of any class to the instruction-fetch model.
+// countInstr adds n instructions of any class to the instruction-fetch
+// model.  The number of fetches actually pushed through the L1I model per
+// call is capped (mirroring the data side's MaxModelOpsPerCall): a capped
+// call spreads its modelled fetches across the whole run by letting each
+// one stand for `skip` real fetches, so the sample reflects steady-state
+// rather than warm-up behaviour.  The unmodelled remainder is covered by
+// the extrapolation in Finish, which scales the sampled miss counts up to
+// the full L1IAccesses total.
 func (e *Exec) countInstr(n uint64) {
 	e.counters.L1IAccesses += n
 	e.fetchPending += n
-	for e.fetchPending >= e.fetchInterval {
-		e.fetchPending -= e.fetchInterval
-		e.modelFetch()
+	fetches := e.fetchPending / e.fetchInterval
+	if fetches == 0 {
+		return
+	}
+	e.fetchPending -= fetches * e.fetchInterval
+	skip := uint64(1)
+	if limit := uint64(e.cfg.MaxModelFetchesPerCall); fetches > limit {
+		skip = fetches / limit
+		fetches = limit
+	}
+	for i := uint64(0); i < fetches; i++ {
+		e.modelFetch(skip)
 	}
 }
 
-func (e *Exec) modelFetch() {
-	// Sequential fetch with occasional jumps within the code footprint.
-	if e.nextRand()%1000 < uint64(e.codeJumpPer1k) {
+// modelFetch models one instruction fetch standing for skip real fetches:
+// sequential advance with occasional jumps within the code footprint.  The
+// per-fetch jump probability is scaled by skip (saturating at always-jump),
+// so a sparsely sampled long run degenerates to random sampling of the code
+// footprint — its steady-state locality — instead of a short sequential
+// walk.
+func (e *Exec) modelFetch(skip uint64) {
+	jumpPerMille := uint64(e.codeJumpPer1k) * skip
+	if jumpPerMille > 1000 {
+		jumpPerMille = 1000
+	}
+	if e.nextRand()%1000 < jumpPerMille {
 		e.codePtr = e.nextRand() % e.codeRegion.Size()
 	} else {
-		e.codePtr += 64
+		e.codePtr += 64 * skip
 	}
 	addr := e.codeRegion.Addr(e.codePtr)
 	res := e.core.Caches.L1I.Access(addr, false)
@@ -195,6 +220,27 @@ func (e *Exec) Load(r Region, off, size uint64) { e.access(r, off, size, false) 
 // Store records a sequential write of size bytes starting at offset off of
 // region r, with write-allocate cache semantics.
 func (e *Exec) Store(r Region, off, size uint64) { e.access(r, off, size, true) }
+
+// LoadResident records a sequential re-read of size bytes at offset off of
+// region r whose data the caller knows is cache-resident: a small working
+// set re-streamed in a tight loop, such as a matrix row read once per
+// output column or a centroid block re-read for every input vector.  The
+// instruction and access counters advance exactly as Load's do, but the
+// accesses are recorded as L1 hits without being re-simulated, which keeps
+// the modelling cost of O(n^3)-style re-stream loops bounded.  The first
+// stream of such data must still be reported with Load so the hierarchy
+// observes its footprint.
+func (e *Exec) LoadResident(r Region, off, size uint64) {
+	_, _ = r, off // symmetric with Load; the addresses are known hits
+	ops := size / wordBytes
+	if ops == 0 {
+		ops = 1
+	}
+	e.counters.LoadInstrs += ops
+	e.counters.L1DAccesses += ops
+	e.countInstr(ops)
+	e.data.accesses += ops
+}
 
 func (e *Exec) access(r Region, off, size uint64, write bool) {
 	ops := size / wordBytes

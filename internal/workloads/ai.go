@@ -17,6 +17,12 @@ type AlexNetConfig struct {
 	Steps int
 	// BatchSize is the per-step batch size (128 in the paper).
 	BatchSize int
+	// SampleBatch is the number of images actually executed per sampled
+	// step on the host; the gap to BatchSize is folded into the session's
+	// extrapolation factor.  Zero selects the default (2).  Short test runs
+	// use 1 to halve the host-side compute without changing the modelled
+	// workload scale.
+	SampleBatch int
 }
 
 // DefaultAlexNet returns the paper's five-node configuration.
@@ -29,6 +35,12 @@ type InceptionConfig struct {
 	Steps int
 	// BatchSize is the per-step batch size (32 in the paper).
 	BatchSize int
+	// SpatialScale divides the 299x299 input resolution of the in-process
+	// network; the cost gap to the real resolution is folded into the
+	// session's extrapolation factor.  Zero selects the default (4).  Short
+	// test runs use 8 to quarter the host-side compute without changing the
+	// modelled workload scale.
+	SpatialScale int
 }
 
 // DefaultInception returns the paper's five-node configuration.
@@ -100,12 +112,16 @@ func runAlexNet(cluster *sim.Cluster, cfg AlexNetConfig) error {
 	if cfg.Steps <= 0 || cfg.BatchSize <= 0 {
 		return fmt.Errorf("workloads: invalid AlexNet config %+v", cfg)
 	}
+	sampleBatch := cfg.SampleBatch
+	if sampleBatch <= 0 {
+		sampleBatch = 2
+	}
 	session := dataflow.SessionConfig{
 		Name:        "alexnet",
 		BatchSize:   cfg.BatchSize,
 		TotalSteps:  cfg.Steps,
 		SampleSteps: 1,
-		SampleBatch: 2,
+		SampleBatch: sampleBatch,
 		// The width scale reduces the in-process convolution cost by ~s^2,
 		// which would call for a CostScale of s^2; the additional factor
 		// calibrates for the vectorised (SSE/AVX) Eigen kernels TensorFlow
@@ -200,7 +216,11 @@ func runInception(cluster *sim.Cluster, cfg InceptionConfig) error {
 	if cfg.Steps <= 0 || cfg.BatchSize <= 0 {
 		return fmt.Errorf("workloads: invalid Inception config %+v", cfg)
 	}
-	spatial := inceptionSpatialScale * inceptionSpatialScale
+	spatialScale := cfg.SpatialScale
+	if spatialScale <= 0 {
+		spatialScale = inceptionSpatialScale
+	}
+	spatial := spatialScale * spatialScale
 	width := inceptionWidthScale * inceptionWidthScale
 	session := dataflow.SessionConfig{
 		Name:        "inception-v3",
@@ -212,8 +232,8 @@ func runInception(cluster *sim.Cluster, cfg InceptionConfig) error {
 		Input: datagen.ImageConfig{
 			Seed:     13,
 			Channels: 3,
-			Height:   299 / inceptionSpatialScale,
-			Width:    299 / inceptionSpatialScale,
+			Height:   299 / spatialScale,
+			Width:    299 / spatialScale,
 		},
 	}
 	_, err := dataflow.Train(cluster, InceptionV3Network(), session)
@@ -246,6 +266,33 @@ func NewClusterWorkloads() []Spec {
 		PageRank(DefaultPageRank()),
 		AlexNet(AlexNetConfig{Steps: 3000, BatchSize: 128}),
 		InceptionV3(InceptionConfig{Steps: 200, BatchSize: 32}),
+	}
+}
+
+// ShortPaperWorkloads returns the five workloads at the paper's input
+// volumes but with reduced AI training steps and reduced host-side sampling
+// (AlexNet executes one image per sampled step, Inception runs at 1/8 of
+// the real resolution), for -short test runs: virtual runtimes stay within
+// the paper's orders of magnitude while the host cost drops several-fold.
+func ShortPaperWorkloads() []Spec {
+	return []Spec{
+		TeraSort(100 * GiB),
+		KMeans(DefaultKMeans()),
+		PageRank(DefaultPageRank()),
+		AlexNet(AlexNetConfig{Steps: 1000, BatchSize: 128, SampleBatch: 1}),
+		InceptionV3(InceptionConfig{Steps: 200, BatchSize: 32, SpatialScale: 8}),
+	}
+}
+
+// ShortNewClusterWorkloads is ShortPaperWorkloads for the three-node
+// configuration study.
+func ShortNewClusterWorkloads() []Spec {
+	return []Spec{
+		TeraSort(100 * GiB),
+		KMeans(DefaultKMeans()),
+		PageRank(DefaultPageRank()),
+		AlexNet(AlexNetConfig{Steps: 300, BatchSize: 128, SampleBatch: 1}),
+		InceptionV3(InceptionConfig{Steps: 100, BatchSize: 32, SpatialScale: 8}),
 	}
 }
 

@@ -1,0 +1,46 @@
+package workloads
+
+import (
+	"testing"
+
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/sim"
+)
+
+// benchmarkWorkload runs one workload per iteration on a fresh five-node
+// cluster with the given host worker count (0 = all CPUs).  Comparing the
+// Sequential and Parallel variants on a multi-core host measures the
+// speedup of the parallel execution engine; results are bit-identical
+// between the two.
+func benchmarkWorkload(b *testing.B, spec Spec, workers int) {
+	b.Helper()
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster := sim.MustNewCluster(sim.FiveNodeWestmere())
+		if err := spec.Run(cluster); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func alexNetBenchSpec() Spec {
+	return AlexNet(AlexNetConfig{Steps: 400, BatchSize: 32})
+}
+
+func BenchmarkAlexNetStepSequential(b *testing.B) {
+	benchmarkWorkload(b, alexNetBenchSpec(), 1)
+}
+
+func BenchmarkAlexNetStepParallel(b *testing.B) {
+	benchmarkWorkload(b, alexNetBenchSpec(), 0)
+}
+
+func BenchmarkInceptionStepSequential(b *testing.B) {
+	benchmarkWorkload(b, InceptionV3(InceptionConfig{Steps: 100, BatchSize: 8}), 1)
+}
+
+func BenchmarkInceptionStepParallel(b *testing.B) {
+	benchmarkWorkload(b, InceptionV3(InceptionConfig{Steps: 100, BatchSize: 8}), 0)
+}

@@ -348,9 +348,13 @@ func runPageRank(cluster *sim.Cluster, cfg PageRankConfig) error {
 					ex.Int(36)
 				}
 			}
+			// Emit buckets in order so the shuffle's sort accounting sees a
+			// deterministic input stream across runs.
 			kvs := make([]mapreduce.KV, 0, len(contrib))
-			for bucket, c := range contrib {
-				kvs = append(kvs, mapreduce.KV{Key: bucket, Num: c, Bytes: make([]byte, 16)})
+			for bucket := int64(0); bucket < rankPartitions; bucket++ {
+				if c, ok := contrib[bucket]; ok {
+					kvs = append(kvs, mapreduce.KV{Key: bucket, Num: c, Bytes: make([]byte, 16)})
+				}
 			}
 			return kvs
 		},

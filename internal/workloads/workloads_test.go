@@ -26,14 +26,22 @@ func runOn(t *testing.T, spec Spec, cfg sim.ClusterConfig) sim.Report {
 
 // smallPaperWorkloads returns down-scaled versions of the five workloads so
 // unit tests stay fast; the full configurations are exercised by the
-// experiment harness and benchmarks.
+// experiment harness and benchmarks.  In -short mode the AI workloads
+// additionally reduce their host-side sampling (one image per sampled
+// AlexNet step, 1/8-resolution Inception).
 func smallPaperWorkloads() []Spec {
+	alex := AlexNetConfig{Steps: 400, BatchSize: 32}
+	incep := InceptionConfig{Steps: 100, BatchSize: 8}
+	if testing.Short() {
+		alex.SampleBatch = 1
+		incep.SpatialScale = 8
+	}
 	return []Spec{
 		TeraSort(4 * GiB),
 		KMeans(KMeansConfig{InputBytes: 4 * GiB, Dim: 64, Clusters: 8, Sparsity: 0.9}),
 		PageRank(PageRankConfig{Vertices: 1 << 20, AvgDegree: 8}),
-		AlexNet(AlexNetConfig{Steps: 400, BatchSize: 32}),
-		InceptionV3(InceptionConfig{Steps: 100, BatchSize: 8}),
+		AlexNet(alex),
+		InceptionV3(incep),
 	}
 }
 
@@ -91,9 +99,13 @@ func TestAllWorkloadsRunOnFiveNodeCluster(t *testing.T) {
 }
 
 func TestWorkloadPatternsShowInMetrics(t *testing.T) {
+	alexCfg := AlexNetConfig{Steps: 400, BatchSize: 32}
+	if testing.Short() {
+		alexCfg.SampleBatch = 1
+	}
 	tera := runOn(t, TeraSort(4*GiB), sim.FiveNodeWestmere())
 	kmeans := runOn(t, KMeans(KMeansConfig{InputBytes: 4 * GiB, Dim: 64, Clusters: 8, Sparsity: 0.9}), sim.FiveNodeWestmere())
-	alex := runOn(t, AlexNet(AlexNetConfig{Steps: 400, BatchSize: 32}), sim.FiveNodeWestmere())
+	alex := runOn(t, AlexNet(alexCfg), sim.FiveNodeWestmere())
 
 	// TeraSort is I/O intensive: its disk bandwidth dwarfs the AI workload's.
 	if tera.Metrics.DiskBW <= 10*alex.Metrics.DiskBW {
