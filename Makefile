@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full bench lint fmt
+.PHONY: build test test-full bench bench-json lint fmt
 
 ## build: compile every package and command
 build:
@@ -17,6 +17,12 @@ test-full:
 ## bench: run every benchmark once (tables/figures + kernel speedups)
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+## bench-json: track the cache-engine hot path — runs the CacheAccess/ExecLoad
+## microbenchmarks and writes the results to BENCH_cache.json
+bench-json:
+	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=20000x -json \
+		./internal/arch ./internal/sim | $(GO) run ./cmd/benchjson > BENCH_cache.json
 
 ## lint: gofmt cleanliness and go vet
 lint:

@@ -1,0 +1,114 @@
+// Command benchjson converts the stream produced by `go test -json -bench`
+// on stdin into a compact JSON summary of the benchmark results on stdout.
+// It exists so `make bench-json` can track the cache-engine hot path in a
+// machine-readable file (BENCH_cache.json) without any dependency beyond the
+// standard library.
+//
+//	go test -run='^$' -bench='CacheAccess|ExecLoad' -benchmem -json ./... | benchjson > BENCH_cache.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema benchjson
+// needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark line in the summary.
+type result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type summary struct {
+	GeneratedBy string   `json:"generated_by"`
+	Benchmarks  []result `json:"benchmarks"`
+}
+
+func main() {
+	sum := summary{GeneratedBy: "make bench-json"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (plain `go test -bench` output)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if r, ok := parseBenchLine(ev.Package, ev.Test, ev.Output); ok {
+			sum.Benchmarks = append(sum.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(sum.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one benchmark result output line; ok is false for
+// any other output.  The line is either the combined
+// `Benchmark<Name>-P  N  V unit  [V unit ...]` form, or — when the harness
+// prints the name on its own line (e.g. GOMAXPROCS=1) — just
+// `N  V unit  [V unit ...]` with the name carried by the event's Test field.
+func parseBenchLine(pkg, test, line string) (result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	name := ""
+	switch {
+	case len(fields) >= 4 && strings.HasPrefix(fields[0], "Benchmark"):
+		name = fields[0]
+		fields = fields[1:]
+	case len(fields) >= 3 && strings.HasPrefix(test, "Benchmark"):
+		name = test
+	default:
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Package: pkg, Name: name, Iterations: iters}
+	// The remainder is value/unit pairs: "7616 ns/op", "16 B/op", ...
+	seen := false
+	for i := 1; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+			seen = true
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, seen
+}

@@ -10,6 +10,13 @@
 // — which workload is cache friendly, how much a bigger last-level cache or
 // a wider issue width helps — emerges from the model rather than being
 // hard-coded.
+//
+// The cache engine is the innermost loop of every simulated experiment, so
+// it is organised for speed: each cache keeps its lines in one contiguous
+// slab indexed by set*ways+way, tag/valid/dirty are packed into a single
+// word, the hierarchy is walked iteratively over a fixed level array rather
+// than by recursion, and the batched AccessRun entry point probes a
+// sequential run once per cache line instead of once per word.
 package arch
 
 import "fmt"
@@ -53,45 +60,83 @@ func (c CacheConfig) Validate() error {
 	return nil
 }
 
+// maxLevels is the deepest hierarchy a single Access walks (L1 → L2 → L3 →
+// one spare).  Chains are fixed at construction, so the walk happens over a
+// fixed-size array with no pointer chasing beyond the per-level cache.
+const maxLevels = 4
+
+// cacheLine is one way of one set.  tagState packs the line address tag with
+// the valid and dirty bits into a single word so a lookup compares one
+// machine word; lru holds the owning cache's tick at last use (larger = more
+// recently used).
+type cacheLine struct {
+	tagState uint64
+	lru      uint64
+}
+
+const (
+	lineValid    = 1 << 0
+	lineDirty    = 1 << 1
+	lineTagShift = 2
+)
+
 // Cache is a set-associative cache with LRU replacement.  It tracks hits and
 // misses; on a miss the access is forwarded to the next level (if any).
 // Cache is not safe for concurrent use; package sim serialises access.
 type Cache struct {
-	cfg      CacheConfig
-	next     *Cache // next level, nil for last level before memory
-	sets     [][]cacheLine
-	hits     uint64
-	misses   uint64
+	cfg  CacheConfig
+	next *Cache // next level, nil for last level before memory
+
+	// lines is the flat slab of all ways of all sets, indexed set*ways+way.
+	lines []cacheLine
+	ways  int
+
+	// levels is this cache followed by the levels below it, fixed when the
+	// cache is built; Access and AccessRun iterate over it instead of
+	// recursing through next pointers.
+	levels [maxLevels]*Cache
+	depth  int
+
+	hits   uint64
+	misses uint64
+	// tick is the monotone LRU clock: it advances by one for every line
+	// probe of this cache, whatever the outcome.  Because it counts probes
+	// (not the hits+misses totals of earlier designs), batched line-granular
+	// simulation and per-word simulation see the same recency *order* and
+	// therefore make identical replacement decisions.
+	tick uint64
+
 	lineMask uint64
 	setMask  uint64
 	lineBits uint
 }
 
-type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint64 // larger = more recently used
-	dirty bool
-}
-
 // NewCache builds a cache from its configuration.  next may be nil for the
-// last level.
+// last level; when non-nil its own level chain must already be complete,
+// which is the natural construction order (memory side first).
 func NewCache(cfg CacheConfig, next *Cache) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	sets := cfg.Sets()
 	c := &Cache{
-		cfg:  cfg,
-		next: next,
-		sets: make([][]cacheLine, sets),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, cfg.Associativity)
+		cfg:   cfg,
+		next:  next,
+		lines: make([]cacheLine, sets*cfg.Associativity),
+		ways:  cfg.Associativity,
 	}
 	c.lineBits = uint(bitsFor(cfg.LineBytes))
 	c.lineMask = uint64(cfg.LineBytes - 1)
 	c.setMask = uint64(sets - 1)
+	c.levels[0] = c
+	c.depth = 1
+	for lvl := next; lvl != nil; lvl = lvl.next {
+		if c.depth == maxLevels {
+			panic(fmt.Sprintf("arch: cache %s starts a hierarchy deeper than %d levels", cfg.Name, maxLevels))
+		}
+		c.levels[c.depth] = lvl
+		c.depth++
+	}
 	return c
 }
 
@@ -126,12 +171,47 @@ func (c *Cache) HitRatio() float64 {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = cacheLine{}
+	clear(c.lines)
+	c.hits, c.misses, c.tick = 0, 0, 0
+}
+
+// probe looks addr's line up in this single level, updating LRU state and
+// hit/miss statistics, and refilling the LRU victim on a miss.  It reports
+// whether the access hit.
+func (c *Cache) probe(addr uint64, write bool) bool {
+	tag := addr >> c.lineBits
+	base := int(tag&c.setMask) * c.ways
+	lines := c.lines[base : base+c.ways]
+	c.tick++
+	want := tag<<lineTagShift | lineValid
+	for i := range lines {
+		if lines[i].tagState&^uint64(lineDirty) == want {
+			c.hits++
+			lines[i].lru = c.tick
+			if write {
+				lines[i].tagState |= lineDirty
+			}
+			return true
 		}
 	}
-	c.hits, c.misses = 0, 0
+
+	// Miss: choose the LRU victim (preferring invalid ways) and refill.
+	c.misses++
+	victim := 0
+	for i := range lines {
+		if lines[i].tagState&lineValid == 0 {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	if write {
+		want |= lineDirty
+	}
+	lines[victim] = cacheLine{tagState: want, lru: c.tick}
+	return false
 }
 
 // AccessResult describes the outcome of a cache access as it propagated
@@ -151,51 +231,86 @@ type AccessResult struct {
 // write-allocate accounting).  The access is forwarded down the hierarchy on
 // a miss and the aggregated result is returned.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
-	return c.accessLevel(addr, write, 1)
+	var res AccessResult
+	for i := 0; i < c.depth; i++ {
+		lvl := c.levels[i]
+		res.Latency += lvl.cfg.LatencyCycles
+		if lvl.probe(addr, write) {
+			res.HitLevel = i + 1
+			return res
+		}
+	}
+	res.MemoryBytes = c.levels[c.depth-1].cfg.LineBytes
+	return res
 }
 
-func (c *Cache) accessLevel(addr uint64, write bool, level int) AccessResult {
-	set := (addr >> c.lineBits) & c.setMask
-	tag := addr >> c.lineBits
-	lines := c.sets[set]
+// RunResult aggregates the outcome of a batched, line-granular run of
+// accesses through the hierarchy.  All counts are in line probes, not words:
+// a sequential run's intra-line word accesses are L1 hits by construction
+// and are accounted arithmetically by the caller.
+type RunResult struct {
+	// LineAccesses is the number of line-granular probes performed.
+	LineAccesses uint64
+	// LevelHits[i] is the number of probes that hit at level i+1 (relative
+	// to the cache AccessRun was called on).
+	LevelHits [maxLevels]uint64
+	// MemAccesses is the number of probes that missed every level.
+	MemAccesses uint64
+	// LatencyCycles is the summed hierarchy latency of all probes,
+	// excluding memory.
+	LatencyCycles uint64
+	// MemoryBytes is the number of bytes transferred from memory (one line
+	// per last-level miss).
+	MemoryBytes uint64
+}
 
-	// Search for a hit.
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
-			c.hits++
-			lines[i].lru = c.hits + c.misses
-			if write {
-				lines[i].dirty = true
-			}
-			return AccessResult{HitLevel: level, Latency: c.cfg.LatencyCycles}
-		}
+// Add merges o into r, so sampled sub-runs can be aggregated.
+func (r *RunResult) Add(o RunResult) {
+	r.LineAccesses += o.LineAccesses
+	for i := range r.LevelHits {
+		r.LevelHits[i] += o.LevelHits[i]
 	}
+	r.MemAccesses += o.MemAccesses
+	r.LatencyCycles += o.LatencyCycles
+	r.MemoryBytes += o.MemoryBytes
+}
 
-	// Miss: choose LRU victim and refill.
-	c.misses++
-	victim := 0
-	for i := range lines {
-		if !lines[i].valid {
-			victim = i
+// AccessRun simulates a sequential run of bytes bytes starting at addr by
+// probing the hierarchy once per cache line the run touches, and returns the
+// aggregated per-level outcome.  It is equivalent — in per-level line
+// hit/miss counts and in replacement decisions — to issuing one Access per
+// touched line, but an order of magnitude cheaper than the per-word driving
+// style because intra-line accesses never reach the model.
+func (c *Cache) AccessRun(addr, bytes uint64, write bool) RunResult {
+	var rr RunResult
+	if bytes == 0 {
+		return rr
+	}
+	lineBytes := uint64(c.cfg.LineBytes)
+	last := (addr + bytes - 1) &^ c.lineMask
+	for a := addr &^ c.lineMask; ; a += lineBytes {
+		c.accessLine(a, write, &rr)
+		if a == last {
 			break
 		}
-		if lines[i].lru < lines[victim].lru {
-			victim = i
+	}
+	return rr
+}
+
+// accessLine pushes one line probe through the level array, accumulating
+// into rr.
+func (c *Cache) accessLine(addr uint64, write bool, rr *RunResult) {
+	rr.LineAccesses++
+	for i := 0; i < c.depth; i++ {
+		lvl := c.levels[i]
+		rr.LatencyCycles += uint64(lvl.cfg.LatencyCycles)
+		if lvl.probe(addr, write) {
+			rr.LevelHits[i]++
+			return
 		}
 	}
-	lines[victim] = cacheLine{tag: tag, valid: true, lru: c.hits + c.misses, dirty: write}
-
-	res := AccessResult{HitLevel: 0, Latency: c.cfg.LatencyCycles}
-	if c.next != nil {
-		down := c.next.accessLevel(addr, write, level+1)
-		res.HitLevel = down.HitLevel
-		res.Latency += down.Latency
-		res.MemoryBytes = down.MemoryBytes
-	} else {
-		// Last level miss: a full line is fetched from memory.
-		res.MemoryBytes = c.cfg.LineBytes
-	}
-	return res
+	rr.MemAccesses++
+	rr.MemoryBytes += uint64(c.levels[c.depth-1].cfg.LineBytes)
 }
 
 // Hierarchy bundles the per-core caches plus the shared last level cache of

@@ -1,0 +1,275 @@
+package arch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refCache is the slow reference cache model retained for property-checking
+// the flat engine: the original pointer-chasing design with a slice of
+// slices per set, boolean valid/dirty flags, recursive level forwarding and
+// the same monotone per-cache access tick the flat engine uses.  It is
+// deliberately written in the naive style so the two implementations share
+// no code.
+type refCache struct {
+	cfg      CacheConfig
+	next     *refCache
+	sets     [][]refLine
+	hits     uint64
+	misses   uint64
+	tick     uint64
+	setMask  uint64
+	lineBits uint
+}
+
+type refLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+func newRefCache(cfg CacheConfig, next *refCache) *refCache {
+	c := &refCache{cfg: cfg, next: next}
+	c.sets = make([][]refLine, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = make([]refLine, cfg.Associativity)
+	}
+	c.lineBits = uint(bitsFor(cfg.LineBytes))
+	c.setMask = uint64(cfg.Sets() - 1)
+	return c
+}
+
+func (c *refCache) access(addr uint64, write bool, level int) AccessResult {
+	tag := addr >> c.lineBits
+	set := tag & c.setMask
+	lines := c.sets[set]
+	c.tick++
+
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.hits++
+			lines[i].lru = c.tick
+			if write {
+				lines[i].dirty = true
+			}
+			return AccessResult{HitLevel: level, Latency: c.cfg.LatencyCycles}
+		}
+	}
+
+	c.misses++
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	lines[victim] = refLine{tag: tag, valid: true, dirty: write, lru: c.tick}
+
+	res := AccessResult{HitLevel: 0, Latency: c.cfg.LatencyCycles}
+	if c.next != nil {
+		down := c.next.access(addr, write, level+1)
+		res.HitLevel = down.HitLevel
+		res.Latency += down.Latency
+		res.MemoryBytes = down.MemoryBytes
+	} else {
+		res.MemoryBytes = c.cfg.LineBytes
+	}
+	return res
+}
+
+// state returns the resident lines of every set as sorted (tag, dirty)
+// pairs, a representation that is independent of which way a line occupies.
+func (c *refCache) state() [][]uint64 {
+	out := make([][]uint64, len(c.sets))
+	for s := range c.sets {
+		for _, l := range c.sets[s] {
+			if l.valid {
+				v := l.tag << 1
+				if l.dirty {
+					v |= 1
+				}
+				out[s] = append(out[s], v)
+			}
+		}
+		sort.Slice(out[s], func(i, j int) bool { return out[s][i] < out[s][j] })
+	}
+	return out
+}
+
+// state is the flat engine's counterpart of refCache.state.
+func (c *Cache) state() [][]uint64 {
+	sets := len(c.lines) / c.ways
+	out := make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		for _, l := range c.lines[s*c.ways : (s+1)*c.ways] {
+			if l.tagState&lineValid != 0 {
+				v := (l.tagState >> lineTagShift) << 1
+				if l.tagState&lineDirty != 0 {
+					v |= 1
+				}
+				out[s] = append(out[s], v)
+			}
+		}
+		sort.Slice(out[s], func(i, j int) bool { return out[s][i] < out[s][j] })
+	}
+	return out
+}
+
+func equalState(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refHierarchy builds the three-level data-side chain of a profile in both
+// implementations.
+func refHierarchy(p Profile) (*Cache, *refCache) {
+	l3 := NewCache(p.L3, nil)
+	l2 := NewCache(p.L2, l3)
+	l1 := NewCache(p.L1D, l2)
+	r3 := newRefCache(p.L3, nil)
+	r2 := newRefCache(p.L2, r3)
+	r1 := newRefCache(p.L1D, r2)
+	return l1, r1
+}
+
+func compareChains(t *testing.T, label string, flat *Cache, ref *refCache) {
+	t.Helper()
+	for lvl := 0; flat != nil; lvl++ {
+		if flat.Hits() != ref.hits || flat.Misses() != ref.misses {
+			t.Fatalf("%s level %d: flat hits/misses %d/%d, reference %d/%d",
+				label, lvl+1, flat.Hits(), flat.Misses(), ref.hits, ref.misses)
+		}
+		if !equalState(flat.state(), ref.state()) {
+			t.Fatalf("%s level %d: resident line state diverged (victim choices differ)", label, lvl+1)
+		}
+		flat, ref = flat.next, ref.next
+	}
+}
+
+// traceProfiles returns the machine profiles the equivalence properties run
+// against, covering both generations used in the paper.
+func traceProfiles() map[string]Profile {
+	return map[string]Profile{"westmere": Westmere(), "haswell": Haswell()}
+}
+
+// Property: on randomized word-granular traces the flat engine and the slow
+// reference model agree access-by-access on the level that hit, the latency
+// and the memory traffic, and end with identical per-level hit/miss counts
+// and resident lines (i.e. identical victim choices).
+func TestFlatEngineMatchesReferenceOnWordTraces(t *testing.T) {
+	for name, p := range traceProfiles() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			flat, ref := refHierarchy(p)
+			// Mix of hot reuse (small working set), streaming and random
+			// far accesses, with occasional writes.
+			for i := 0; i < 60000; i++ {
+				var addr uint64
+				switch rng.Intn(3) {
+				case 0:
+					addr = uint64(rng.Intn(32 * 1024)) // L1-sized hot set
+				case 1:
+					addr = uint64(i) * 8 // streaming
+				default:
+					addr = uint64(rng.Intn(64 * 1024 * 1024)) // far random
+				}
+				write := rng.Intn(4) == 0
+				got := flat.Access(addr, write)
+				want := ref.access(addr, write, 1)
+				if got != want {
+					t.Fatalf("access %d addr %#x write=%v: flat %+v, reference %+v", i, addr, write, got, want)
+				}
+			}
+			compareChains(t, name, flat, ref)
+		})
+	}
+}
+
+// Property: AccessRun is equivalent to issuing one per-line Access for every
+// line the run touches — identical per-level line hit/miss counts, latency,
+// memory traffic and replacement state — on randomized run traces.
+func TestAccessRunMatchesPerLineAccesses(t *testing.T) {
+	for name, p := range traceProfiles() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			flat, ref := refHierarchy(p)
+			lineBytes := uint64(p.L1D.LineBytes)
+			for i := 0; i < 4000; i++ {
+				addr := uint64(rng.Intn(16 * 1024 * 1024))
+				bytes := uint64(1 + rng.Intn(8*1024))
+				write := rng.Intn(4) == 0
+
+				rr := flat.AccessRun(addr, bytes, write)
+
+				var want RunResult
+				last := (addr + bytes - 1) &^ (lineBytes - 1)
+				for a := addr &^ (lineBytes - 1); ; a += lineBytes {
+					res := ref.access(a, write, 1)
+					want.LineAccesses++
+					want.LatencyCycles += uint64(res.Latency)
+					if res.HitLevel > 0 {
+						want.LevelHits[res.HitLevel-1]++
+					} else {
+						want.MemAccesses++
+						want.MemoryBytes += uint64(res.MemoryBytes)
+					}
+					if a == last {
+						break
+					}
+				}
+				if rr != want {
+					t.Fatalf("run %d addr %#x bytes %d write=%v: flat %+v, reference %+v", i, addr, bytes, write, rr, want)
+				}
+			}
+			compareChains(t, name, flat, ref)
+		})
+	}
+}
+
+// Property: driving the hierarchy word-by-word and line-by-line produces the
+// same replacement decisions — the resident lines after a trace of
+// sequential runs are identical, even though the per-word drive records the
+// intra-line hits the batched drive accounts for arithmetically.
+func TestBatchedAndPerWordReplacementEquivalence(t *testing.T) {
+	for name, p := range traceProfiles() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			batched, _ := refHierarchy(p)
+			perWord, _ := refHierarchy(p)
+			for i := 0; i < 3000; i++ {
+				// Word-aligned runs of whole words, so the per-word drive
+				// touches exactly the lines the batched drive probes.
+				addr := 8 * uint64(rng.Intn(1024*1024))
+				bytes := uint64(8 * (1 + rng.Intn(512)))
+				write := rng.Intn(5) == 0
+				batched.AccessRun(addr, bytes, write)
+				for off := uint64(0); off < bytes; off += 8 {
+					perWord.Access(addr+off, write)
+				}
+			}
+			for b, w := batched, perWord; b != nil; b, w = b.next, w.next {
+				if !equalState(b.state(), w.state()) {
+					t.Fatalf("%s: batched and per-word replacement state diverged", name)
+				}
+			}
+		})
+	}
+}

@@ -119,6 +119,30 @@ func (c *Counters) Scale(f float64) {
 	c.NetRecvBytes = s(c.NetRecvBytes)
 }
 
+// ClampMisses caps every miss counter at its corresponding access counter.
+// The simulation engine extrapolates line-granular cache samples up to
+// word-granular access totals; on tiny samples (a sub-word access straddling
+// a line boundary, a few probed lines standing for a short run) the scaled
+// miss count can overshoot the access count by a rounding step, and this
+// clamp restores the Validate invariants after extrapolation.
+func (c *Counters) ClampMisses() {
+	if c.L1IMisses > c.L1IAccesses {
+		c.L1IMisses = c.L1IAccesses
+	}
+	if c.L1DMisses > c.L1DAccesses {
+		c.L1DMisses = c.L1DAccesses
+	}
+	if c.L2Misses > c.L2Accesses {
+		c.L2Misses = c.L2Accesses
+	}
+	if c.L3Misses > c.L3Accesses {
+		c.L3Misses = c.L3Accesses
+	}
+	if c.BranchMisses > c.BranchInstrs {
+		c.BranchMisses = c.BranchInstrs
+	}
+}
+
 // IsZero reports whether no events at all have been recorded.
 func (c Counters) IsZero() bool {
 	return c.Instructions() == 0 && c.Cycles == 0 &&

@@ -42,9 +42,12 @@ type Exec struct {
 }
 
 // sampleStats aggregates the outcome of the accesses actually pushed through
-// the cache hierarchy.
+// the cache hierarchy.  The engine probes at line granularity (arch.RunResult)
+// while the counters it extrapolates to are word granular, so each recorded
+// run carries both the line-probe outcomes and the number of word ops the
+// probes stand for.
 type sampleStats struct {
-	accesses uint64 // ops modelled
+	accesses uint64 // word ops the modelled probes stand for
 	l1Miss   uint64
 	l2Acc    uint64
 	l2Miss   uint64
@@ -54,26 +57,29 @@ type sampleStats struct {
 	memWrite uint64 // bytes
 }
 
-func (s *sampleStats) record(res arch.AccessResult, write bool, lineBytes uint64) {
-	s.accesses++
-	if res.HitLevel == 1 {
-		return
+// recordRun folds the aggregated outcome of one batched run into the sample.
+// ops is the number of word-granular operations the run's probes stand for;
+// intra-line word accesses of a sequential run are L1 hits by construction,
+// so they appear in ops (and later in the extrapolation denominator) without
+// ever having been simulated.
+func (s *sampleStats) recordRun(rr arch.RunResult, ops uint64, write bool) {
+	if rr.LineAccesses > ops {
+		// A tiny unaligned run can straddle more lines than it has words;
+		// never let sampled misses outnumber the accesses they stand for.
+		ops = rr.LineAccesses
 	}
-	s.l1Miss++
-	s.l2Acc++
-	if res.HitLevel == 2 {
-		return
-	}
-	s.l2Miss++
-	s.l3Acc++
-	if res.HitLevel == 3 {
-		return
-	}
-	s.l3Miss++
-	s.memRead += lineBytes
+	s.accesses += ops
+	l1Miss := rr.LineAccesses - rr.LevelHits[0]
+	l2Miss := l1Miss - rr.LevelHits[1]
+	s.l1Miss += l1Miss
+	s.l2Acc += l1Miss
+	s.l2Miss += l2Miss
+	s.l3Acc += l2Miss
+	s.l3Miss += rr.MemAccesses
+	s.memRead += rr.MemoryBytes
 	if write {
-		// Write-allocate with eventual write-back of the dirty line.
-		s.memWrite += lineBytes
+		// Write-allocate with eventual write-back of the dirty lines.
+		s.memWrite += rr.MemoryBytes
 	}
 }
 
@@ -183,8 +189,8 @@ func (e *Exec) modelFetch(skip uint64) {
 		e.codePtr += 64 * skip
 	}
 	addr := e.codeRegion.Addr(e.codePtr)
-	res := e.core.Caches.L1I.Access(addr, false)
-	e.instr.record(res, false, uint64(e.cfg.Profile.L1I.LineBytes))
+	rr := e.core.Caches.L1I.AccessRun(addr, 1, false)
+	e.instr.recordRun(rr, 1, false)
 }
 
 // Int records n integer ALU instructions.
@@ -212,30 +218,42 @@ func (e *Exec) Branch(site uint64, taken bool) {
 }
 
 // Load records a sequential read of size bytes starting at offset off of
-// region r.  It counts one load instruction per machine word and drives the
-// cache model with up to MaxModelOpsPerCall of those accesses, extrapolating
-// the remainder.
+// region r.  It counts one load instruction per machine word but drives the
+// cache model at line granularity: the hierarchy is probed once per cache
+// line of the run (up to MaxModelOpsPerCall lines, extrapolating the
+// remainder), and the intra-line word accesses — L1 hits by construction —
+// are accounted arithmetically.
 func (e *Exec) Load(r Region, off, size uint64) { e.access(r, off, size, false) }
 
 // Store records a sequential write of size bytes starting at offset off of
 // region r, with write-allocate cache semantics.
 func (e *Exec) Store(r Region, off, size uint64) { e.access(r, off, size, true) }
 
-// LoadResident records a sequential re-read of size bytes at offset off of
-// region r whose data the caller knows is cache-resident: a small working
-// set re-streamed in a tight loop, such as a matrix row read once per
-// output column or a centroid block re-read for every input vector.  The
-// instruction and access counters advance exactly as Load's do, but the
-// accesses are recorded as L1 hits without being re-simulated, which keeps
-// the modelling cost of O(n^3)-style re-stream loops bounded.  The first
-// stream of such data must still be reported with Load so the hierarchy
-// observes its footprint.
-func (e *Exec) LoadResident(r Region, off, size uint64) {
-	_, _ = r, off // symmetric with Load; the addresses are known hits
+// wordOps returns the number of word-granular operations a size-byte access
+// run stands for; a sub-word access (including size 0) still costs one
+// operation.  It is the single definition of the clamp shared by Load,
+// Store, Touch and LoadResident accounting.
+func wordOps(size uint64) uint64 {
 	ops := size / wordBytes
 	if ops == 0 {
 		ops = 1
 	}
+	return ops
+}
+
+// LoadResident records a sequential re-read of size bytes at offset off of
+// region r whose data the caller asserts is cache-resident: a small working
+// set re-streamed in a tight loop, such as a matrix row read once per
+// output column or a centroid block re-read for every input vector.  The
+// instruction, access and sample accounting derive from (r, off, size)
+// exactly as Load's do — including the sub-word clamp to one op — but the
+// run's line probes are recorded as L1 hits without being re-simulated,
+// which keeps the modelling cost of O(n^3)-style re-stream loops bounded.
+// The first stream of such data must still be reported with Load so the
+// hierarchy observes its footprint.
+func (e *Exec) LoadResident(r Region, off, size uint64) {
+	_ = r.Addr(off) // the run's addresses are asserted hits; nothing to probe
+	ops := wordOps(size)
 	e.counters.LoadInstrs += ops
 	e.counters.L1DAccesses += ops
 	e.countInstr(ops)
@@ -243,10 +261,7 @@ func (e *Exec) LoadResident(r Region, off, size uint64) {
 }
 
 func (e *Exec) access(r Region, off, size uint64, write bool) {
-	ops := size / wordBytes
-	if ops == 0 {
-		ops = 1
-	}
+	ops := wordOps(size)
 	if write {
 		e.counters.StoreInstrs += ops
 	} else {
@@ -255,28 +270,60 @@ func (e *Exec) access(r Region, off, size uint64, write bool) {
 	e.counters.L1DAccesses += ops
 	e.countInstr(ops)
 
-	model := ops
-	if model > uint64(e.cfg.MaxModelOpsPerCall) {
-		model = uint64(e.cfg.MaxModelOpsPerCall)
-	}
 	lineBytes := uint64(e.cfg.Profile.L1D.LineBytes)
-	// Model a prefix of the access run; the run is homogeneous so the prefix
-	// is representative and the remainder is extrapolated at Finish.
-	stride := uint64(wordBytes)
-	if model < ops {
-		// Spread the modelled accesses across the whole run so capacity
-		// effects of large runs are still visible.
-		stride = (size / model) / wordBytes * wordBytes
-		if stride < wordBytes {
-			stride = wordBytes
+	lines := (size + lineBytes - 1) / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	var rr arch.RunResult
+	covered := ops
+	if r.size == 0 {
+		// A zero-size region pins every offset to its base, so the whole
+		// run is one line re-touched; probe it once and let extrapolation
+		// account for the rest.
+		rr = e.core.Caches.L1D.AccessRun(r.base, 1, write)
+	} else if limit := uint64(e.cfg.MaxModelOpsPerCall); lines > limit {
+		// Capped call: model `limit` lines spread evenly across the run so
+		// capacity effects of large runs stay visible; the unmodelled
+		// remainder is extrapolated at Finish.  The cap counts lines, not
+		// words — probe i stands for the run's lines around index
+		// i*lines/limit, so the sample spans the whole run even when lines
+		// is not a multiple of the cap.
+		for i := uint64(0); i < limit; i++ {
+			line := i * lines / limit
+			rr.Add(e.core.Caches.L1D.AccessRun(r.Addr(off+line*lineBytes), 1, write))
+		}
+		covered = ops * limit / lines
+	} else if size <= r.size-off%r.size {
+		// Common case: the run is contiguous inside the region, one batched
+		// walk probes each touched line exactly once.
+		rr = e.core.Caches.L1D.AccessRun(r.Addr(off), size, write)
+	} else {
+		// The run wraps around the region; walk it in contiguous chunks the
+		// way the per-word engine's wrapping addresses did.  A sub-line
+		// region makes every chunk tiny, so the number of chunk walks is
+		// bounded by the same per-call cap as the strided branch and the
+		// unwalked remainder is extrapolated at Finish.
+		walked := uint64(0)
+		chunks := uint64(e.cfg.MaxModelOpsPerCall)
+		for remaining := size; remaining > 0 && chunks > 0; chunks-- {
+			chunk := r.size - off%r.size
+			if chunk > remaining {
+				chunk = remaining
+			}
+			rr.Add(e.core.Caches.L1D.AccessRun(r.Addr(off), chunk, write))
+			off += chunk
+			walked += chunk
+			remaining -= chunk
+		}
+		if walked < size {
+			covered = ops * walked / size
+			if covered == 0 {
+				covered = 1
+			}
 		}
 	}
-	addr := off
-	for i := uint64(0); i < model; i++ {
-		res := e.core.Caches.L1D.Access(r.Addr(addr), write)
-		e.data.record(res, write, lineBytes)
-		addr += stride
-	}
+	e.data.recordRun(rr, covered, write)
 }
 
 // Touch records a single word-sized access at offset off of region r; it is
@@ -391,10 +438,11 @@ func (e *Exec) Finish() {
 	if e.sampledBranches > 0 {
 		f := float64(e.counters.BranchInstrs) / float64(e.sampledBranches)
 		e.counters.BranchMisses = scaleU(e.sampledBranchMiss, f)
-		if e.counters.BranchMisses > e.counters.BranchInstrs {
-			e.counters.BranchMisses = e.counters.BranchInstrs
-		}
 	}
+	// Line-granular samples extrapolated to word-granular totals can
+	// overshoot by a rounding step on tiny samples; restore the miss ≤
+	// access invariants before cycles are derived from the counters.
+	e.counters.ClampMisses()
 
 	e.counters.Cycles = e.deriveCycles()
 

@@ -67,6 +67,24 @@ func TestExecSmallAccessCountsAsOneOp(t *testing.T) {
 	}
 }
 
+func TestExecWrappingAccessRespectsModelCap(t *testing.T) {
+	// A bulk access over a region smaller than a cache line wraps on every
+	// byte; the modelling cost must stay bounded by MaxModelOpsPerCall
+	// probes per call, with the remainder extrapolated.
+	c, _ := runSingle(t, func(ex *Exec) {
+		r := ex.Node().Alloc(1)
+		ex.Load(r, 0, 32*1024)
+	})
+	node := c.Nodes()[0]
+	probes := node.Machine().Core(0).Caches.L1D.Accesses()
+	if probes > uint64(defaultMaxModelOpsPerCall) {
+		t.Fatalf("wrapping load issued %d L1D probes, cap is %d", probes, defaultMaxModelOpsPerCall)
+	}
+	if err := node.Counters().Validate(); err != nil {
+		t.Fatalf("counters inconsistent: %v", err)
+	}
+}
+
 func TestExecCacheLocalityVisibleInCounters(t *testing.T) {
 	// Repeatedly scanning a small buffer must have far fewer L1D misses than
 	// streaming over a large one with the same number of accesses.
