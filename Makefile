@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full bench bench-json lint fmt
+.PHONY: build test test-full bench bench-json lint lint-docs lint-links fmt
 
 ## build: compile every package and command
 build:
@@ -18,19 +18,32 @@ test-full:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 
-## bench-json: track the cache-engine hot path — runs the CacheAccess/ExecLoad
-## microbenchmarks and writes the results to BENCH_cache.json
+## bench-json: track the hot paths — the cache-engine CacheAccess/ExecLoad
+## microbenchmarks plus the sequential-vs-parallel auto-tuning pipeline
+## (BenchmarkTune) — and write the results to BENCH_cache.json
 bench-json:
 	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=20000x -json \
-		./internal/arch ./internal/sim | $(GO) run ./cmd/benchjson > BENCH_cache.json
+		./internal/arch ./internal/sim > BENCH_cache.tmp
+	$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=1x -json \
+		./internal/tuner >> BENCH_cache.tmp
+	$(GO) run ./cmd/benchjson < BENCH_cache.tmp > BENCH_cache.json
+	rm -f BENCH_cache.tmp
 
-## lint: gofmt cleanliness and go vet
-lint:
+## lint: gofmt cleanliness, go vet, godoc coverage and markdown links
+lint: lint-docs lint-links
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+## lint-docs: every exported tuner/dtree/core/perf symbol has a doc comment
+lint-docs:
+	sh scripts/lint-docs.sh
+
+## lint-links: relative links in README/ROADMAP/docs resolve
+lint-links:
+	sh scripts/lint-links.sh
 
 ## fmt: apply gofmt to the whole tree
 fmt:

@@ -151,6 +151,26 @@ func BenchmarkFigure9NewClusterAccuracy(b *testing.B) {
 	b.ReportMetric(avg*100, "avg-accuracy-%")
 }
 
+func BenchmarkTableCrossArchAccuracy(b *testing.B) {
+	var worstAvg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := suite.TableCrossArch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstAvg = 1
+		for _, r := range rows {
+			if r.Westmere.Average < worstAvg {
+				worstAvg = r.Westmere.Average
+			}
+			if r.Haswell.Average < worstAvg {
+				worstAvg = r.Haswell.Average
+			}
+		}
+	}
+	b.ReportMetric(worstAvg*100, "worst-avg-accuracy-%")
+}
+
 func BenchmarkFigure10CrossArch(b *testing.B) {
 	var maxDiff float64
 	for i := 0; i < b.N; i++ {

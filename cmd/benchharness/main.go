@@ -121,6 +121,13 @@ func main() {
 			}
 			return experiments.FormatSpeedupRows(rows), nil
 		}},
+		{"crossarch", func() (string, error) {
+			rows, err := suite.TableCrossArch()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatCrossArchRows(rows), nil
+		}},
 	}
 
 	known := map[string]bool{}
@@ -131,7 +138,7 @@ func main() {
 	// valid ones.
 	for name := range wanted {
 		if !known[name] {
-			log.Fatalf("unknown experiment %q (known: table1-table7, figure4-figure10)", name)
+			log.Fatalf("unknown experiment %q (known: table1-table7, figure4-figure10, crossarch)", name)
 		}
 	}
 

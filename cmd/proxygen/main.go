@@ -1,77 +1,160 @@
-// Command proxygen generates a qualified proxy benchmark for one of the
-// five real workloads: it measures the real workload on the simulated
-// five-node cluster, auto-tunes the proxy benchmark's parameters with the
-// decision-tree tuner until the metric deviations are within the threshold,
-// and prints the resulting parameter setting and accuracy report.
+// Command proxygen generates a qualified proxy benchmark for one (or all) of
+// the five real workloads: it measures the real workload on the simulated
+// cluster of each selected processor generation, auto-tunes the proxy
+// benchmark's parameters with the decision-tree tuner until the metric
+// deviations are within the threshold, and prints the resulting parameter
+// setting and accuracy report.  With -arch all the proxy is qualified on
+// both the Westmere and the Haswell generation concurrently (the paper's
+// cross-system validation) and a per-profile accuracy matrix is printed.
 //
 // Usage:
 //
-//	proxygen -workload kmeans [-threshold 0.15] [-iterations 12]
+//	proxygen -workload kmeans [-arch westmere|haswell|all] [-all]
+//	         [-threshold 0.15] [-iterations 12] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"dataproxy/internal/arch"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tuner"
 	"dataproxy/internal/workloads"
 )
 
+// qualTarget is one architecture the proxy is qualified on: the profile the
+// proxy benchmark is tuned for and the cluster deployment the real workload
+// is measured on (the paper's deployment of that generation).
+type qualTarget struct {
+	profile arch.Profile
+	realCfg sim.ClusterConfig
+}
+
+func qualTargets(sel string) ([]qualTarget, error) {
+	westmere := qualTarget{profile: arch.Westmere(), realCfg: sim.FiveNodeWestmere()}
+	haswell := qualTarget{profile: arch.Haswell(), realCfg: sim.ThreeNodeHaswell64GB()}
+	switch sel {
+	case "westmere":
+		return []qualTarget{westmere}, nil
+	case "haswell":
+		return []qualTarget{haswell}, nil
+	case "all":
+		return []qualTarget{westmere, haswell}, nil
+	default:
+		return nil, fmt.Errorf("unknown -arch %q (want westmere, haswell or all)", sel)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("proxygen: ")
 	workload := flag.String("workload", "terasort", "workload to proxy: terasort, kmeans, pagerank, alexnet, inception")
+	allWorkloads := flag.Bool("all", false, "generate proxies for all five workloads")
+	archSel := flag.String("arch", "westmere", "architecture(s) to qualify the proxy on: westmere, haswell or all")
 	threshold := flag.Float64("threshold", 0.15, "accepted per-metric deviation")
 	iterations := flag.Int("iterations", 12, "maximum adjust/feedback iterations")
+	par := flag.Int("parallel", 0, "host worker count of the shared execution engine (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	parallel.SetWorkers(*par)
 
-	spec, err := workloads.ByShortName(*workload)
+	targets, err := qualTargets(strings.ToLower(*archSel))
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := proxy.ForWorkload(*workload)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("measuring %s on the five-node Westmere cluster...\n", spec.Name)
-	realCluster, err := sim.NewCluster(sim.FiveNodeWestmere())
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := spec.Run(realCluster); err != nil {
-		log.Fatal(err)
-	}
-	target := realCluster.Report(spec.Name)
-	fmt.Printf("  real runtime: %.0f virtual seconds\n\n", target.Runtime)
-
-	fmt.Printf("auto-tuning %s (threshold %.0f%%, max %d iterations)...\n", b.Name, *threshold*100, *iterations)
-	proxyCluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := tuner.Tune(proxyCluster, b, target.Metrics, tuner.Options{
-		Threshold:     *threshold,
-		MaxIterations: *iterations,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("  evaluations: %d, iterations: %d, converged: %v\n", res.Evaluations, res.Iterations, res.Converged)
-	fmt.Printf("  qualified setting: %s\n", res.Setting)
-	fmt.Printf("  proxy runtime: %.2f virtual seconds (speedup %.0fX)\n",
-		res.ProxyMetrics.Runtime, sim.Speedup(target.Runtime, res.ProxyMetrics.Runtime))
-	fmt.Printf("\naccuracy against %s:\n%s", spec.Name, res.Report.String())
-	if len(res.History) > 0 {
-		fmt.Println("\ntuning history:")
-		for i, h := range res.History {
-			fmt.Printf("  %2d: %-12s -> adjust %-10s to %.3f (avg accuracy %.3f)\n",
-				i+1, h.Metric, h.Parameter, h.Factor, h.Average)
+	shorts := []string{*workload}
+	if *allWorkloads {
+		shorts = shorts[:0]
+		for _, spec := range workloads.PaperWorkloads() {
+			shorts = append(shorts, spec.ShortName)
 		}
 	}
+
+	opts := tuner.Options{Threshold: *threshold, MaxIterations: *iterations}
+	for i, short := range shorts {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := generate(short, targets, opts); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// generate measures the real workload on every target architecture, tunes
+// the proxy per architecture (concurrently, sharing one measurement memo)
+// and prints the qualification results.
+func generate(short string, targets []qualTarget, opts tuner.Options) error {
+	spec, err := workloads.ByShortName(short)
+	if err != nil {
+		return err
+	}
+	b, err := proxy.ForWorkload(short)
+	if err != nil {
+		return err
+	}
+
+	// Measure the real workload once per architecture; the measurements are
+	// independent and fan out over the worker pool.
+	realReports := make([]sim.Report, len(targets))
+	errs := make([]error, len(targets))
+	parallel.For(len(targets), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			realReports[i], errs[i] = measureReal(spec, targets[i].realCfg)
+		}
+	})
+	tuneTargets := make([]tuner.Target, len(targets))
+	for i, qt := range targets {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		fmt.Printf("measured %s on %s: %.0f virtual seconds\n", spec.Name, qt.realCfg.Name, realReports[i].Runtime)
+		tuneTargets[i] = tuner.Target{Profile: qt.profile, Metrics: realReports[i].Metrics}
+	}
+
+	fmt.Printf("auto-tuning %s on %d architecture(s) (threshold %.0f%%, max %d iterations)...\n",
+		b.Name, len(targets), opts.Threshold*100, opts.MaxIterations)
+	results, err := tuner.TuneAll(b, tuneTargets, opts)
+	if err != nil {
+		return err
+	}
+
+	for i, r := range results {
+		res := r.Result
+		fmt.Printf("\n[%s]\n", r.Profile.Name)
+		fmt.Printf("  simulations: %d (%d memoized), iterations: %d, converged: %v\n",
+			res.Evaluations, res.MemoHits, res.Iterations, res.Converged)
+		fmt.Printf("  qualified setting: %s\n", res.Setting)
+		fmt.Printf("  proxy runtime: %.2f virtual seconds (speedup %.0fX over the real workload)\n",
+			res.ProxyMetrics.Runtime, sim.Speedup(realReports[i].Runtime, res.ProxyMetrics.Runtime))
+		if len(res.History) > 0 {
+			fmt.Println("  tuning history:")
+			for j, h := range res.History {
+				fmt.Printf("    %2d: %-12s -> adjust %-10s to %.3f (avg accuracy %.3f)\n",
+					j+1, h.Metric, h.Parameter, h.Factor, h.Average)
+			}
+		}
+	}
+
+	if len(results) > 1 {
+		fmt.Printf("\nper-profile accuracy matrix for %s:\n%s", b.Name, tuner.FormatAccuracyMatrix(results, nil))
+	} else {
+		fmt.Printf("\naccuracy against %s:\n%s", spec.Name, results[0].Result.Report.String())
+	}
+	return nil
+}
+
+func measureReal(spec workloads.Spec, cfg sim.ClusterConfig) (sim.Report, error) {
+	cluster, err := sim.NewCluster(cfg)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	if err := spec.Run(cluster); err != nil {
+		return sim.Report{}, err
+	}
+	return cluster.Report(spec.Name), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -66,6 +67,39 @@ func TestSettingDefaultsAndValidation(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Fatal("String should render the setting")
+	}
+}
+
+func TestSettingCanonical(t *testing.T) {
+	// Missing parameters canonicalise like explicit 1.0 factors: the two
+	// settings drive identical simulations, so they must share a memo key.
+	if (Setting{}).Canonical() != DefaultSetting().Canonical() {
+		t.Fatal("empty and default settings should canonicalise identically")
+	}
+	a := Setting{"dataSize": 0.5}
+	b := Setting{"dataSize": 0.5, "weight": 1}
+	if a.Canonical() != b.Canonical() {
+		t.Fatal("an explicit identity factor should not change the canonical form")
+	}
+	c := Setting{"dataSize": 0.5000000000000001}
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("canonical form must be bit-exact, not rounded")
+	}
+	if a.Canonical() == DefaultSetting().Canonical() {
+		t.Fatal("different factors must canonicalise differently")
+	}
+	// Every parameter name appears, in canonical order.
+	can := DefaultSetting().Canonical()
+	prev := -1
+	for _, n := range ParameterNames {
+		i := strings.Index(can, n+"=")
+		if i < 0 {
+			t.Fatalf("canonical form misses %s: %s", n, can)
+		}
+		if i < prev {
+			t.Fatalf("canonical form not in ParameterNames order: %s", can)
+		}
+		prev = i
 	}
 }
 

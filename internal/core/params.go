@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 )
 
 // Params is the tunable parameter vector P of Table I.  The first four
@@ -97,6 +99,24 @@ func (s Setting) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Canonical returns a deterministic, bit-exact cache key of the setting's
+// effective factors: every parameter of ParameterNames in canonical order
+// with the raw IEEE-754 bits of its effective factor (Get semantics, so a
+// missing parameter and an explicit 1.0 canonicalise identically).  Two
+// settings with equal Canonical strings produce identical simulations, which
+// is what the tuner's measurement memo keys on.
+func (s Setting) Canonical() string {
+	var b strings.Builder
+	b.Grow(len(ParameterNames) * 28)
+	for i, n := range ParameterNames {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%016x", n, math.Float64bits(s.Get(n)))
+	}
+	return b.String()
 }
 
 // String renders the setting deterministically (sorted by name).

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"dataproxy/internal/parallel"
 )
 
 // Sample is one observation: a feature vector (parameter factors) and the
@@ -138,6 +140,18 @@ func collectImportance(n *node, imp []float64) {
 	collectImportance(n.right, imp)
 }
 
+// parallelSplitMinSamples is the node size below which the per-feature split
+// search stays on the calling goroutine: scanning a handful of samples is
+// cheaper than recruiting pool workers.
+const parallelSplitMinSamples = 256
+
+// featureSplit is the best split found along one feature.
+type featureSplit struct {
+	gain        float64
+	threshold   float64
+	left, right []Sample
+}
+
 func grow(samples []Sample, cfg Config, level int) *node {
 	mean, sse := meanSSE(samples)
 	// A node at level L has depth L+1; splitting is only allowed while the
@@ -145,40 +159,70 @@ func grow(samples []Sample, cfg Config, level int) *node {
 	if level >= cfg.MaxDepth-1 || len(samples) < 2*cfg.MinSamplesLeaf || sse < 1e-12 {
 		return &node{leaf: true, value: mean}
 	}
-	bestGain := 0.0
-	bestFeature, bestThreshold := -1, 0.0
-	var bestLeft, bestRight []Sample
 	dim := len(samples[0].Features)
+
+	// Search every feature's candidate thresholds independently — on the
+	// shared worker pool for large nodes — then reduce in ascending feature
+	// order with a strict improvement test.  The reduction is exactly the
+	// sequential loop's tie-breaking (earlier features win equal gains), so
+	// the fitted tree is bit-identical at any worker count.
+	perFeature := make([]featureSplit, dim)
+	grain := 1
+	if len(samples) < parallelSplitMinSamples {
+		grain = dim // single chunk: run inline on the caller
+	}
+	parallel.For(dim, grain, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			perFeature[f] = bestFeatureSplit(samples, f, sse, cfg)
+		}
+	})
+
+	bestGain := 0.0
+	bestFeature := -1
 	for f := 0; f < dim; f++ {
-		sorted := append([]Sample(nil), samples...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Features[f] < sorted[j].Features[f] })
-		for i := cfg.MinSamplesLeaf; i <= len(sorted)-cfg.MinSamplesLeaf; i++ {
-			if sorted[i-1].Features[f] == sorted[i].Features[f] {
-				continue
-			}
-			left, right := sorted[:i], sorted[i:]
-			_, lsse := meanSSE(left)
-			_, rsse := meanSSE(right)
-			gain := sse - lsse - rsse
-			if gain > bestGain {
-				bestGain = gain
-				bestFeature = f
-				bestThreshold = (sorted[i-1].Features[f] + sorted[i].Features[f]) / 2
-				bestLeft = append([]Sample(nil), left...)
-				bestRight = append([]Sample(nil), right...)
-			}
+		if perFeature[f].gain > bestGain {
+			bestGain = perFeature[f].gain
+			bestFeature = f
 		}
 	}
 	if bestFeature < 0 {
 		return &node{leaf: true, value: mean}
 	}
+	best := perFeature[bestFeature]
 	return &node{
 		feature:   bestFeature,
-		threshold: bestThreshold,
+		threshold: best.threshold,
 		value:     bestGain, // stored as split gain for feature importance
-		left:      grow(bestLeft, cfg, level+1),
-		right:     grow(bestRight, cfg, level+1),
+		left:      grow(best.left, cfg, level+1),
+		right:     grow(best.right, cfg, level+1),
 	}
+}
+
+// bestFeatureSplit scans every admissible threshold of one feature and
+// returns the split with the largest squared-error reduction (gain 0 when no
+// admissible threshold exists).  parentSSE is the node's total squared error.
+func bestFeatureSplit(samples []Sample, f int, parentSSE float64, cfg Config) featureSplit {
+	sorted := append([]Sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Features[f] < sorted[j].Features[f] })
+	var best featureSplit
+	for i := cfg.MinSamplesLeaf; i <= len(sorted)-cfg.MinSamplesLeaf; i++ {
+		if sorted[i-1].Features[f] == sorted[i].Features[f] {
+			continue
+		}
+		left, right := sorted[:i], sorted[i:]
+		_, lsse := meanSSE(left)
+		_, rsse := meanSSE(right)
+		gain := parentSSE - lsse - rsse
+		if gain > best.gain {
+			best = featureSplit{
+				gain:      gain,
+				threshold: (sorted[i-1].Features[f] + sorted[i].Features[f]) / 2,
+				left:      append([]Sample(nil), left...),
+				right:     append([]Sample(nil), right...),
+			}
+		}
+	}
+	return best
 }
 
 func meanSSE(samples []Sample) (mean, sse float64) {

@@ -3,8 +3,11 @@ package dtree
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"dataproxy/internal/parallel"
 )
 
 func TestFitValidation(t *testing.T) {
@@ -132,6 +135,40 @@ func TestConstantTargetGivesLeaf(t *testing.T) {
 	}
 	if tree.Predict([]float64{3, 3}) != 5 {
 		t.Fatal("prediction should be the constant")
+	}
+}
+
+// Property: the parallel per-feature split search produces a tree
+// bit-identical to the sequential one, at any worker count and on either
+// side of the parallelSplitMinSamples threshold.
+func TestFitParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{20, parallelSplitMinSamples, 600} {
+		var samples []Sample
+		for i := 0; i < n; i++ {
+			x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+			samples = append(samples, Sample{Features: []float64{x, y, z}, Target: 5*x - 2*y + rng.NormFloat64()*0.1})
+		}
+		prev := parallel.SetWorkers(1)
+		seq, err := Fit(samples, Config{MaxDepth: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(8)
+		par, err := Fit(samples, Config{MaxDepth: 8})
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("n=%d: parallel fit differs from sequential", n)
+		}
+		for i := 0; i < 50; i++ {
+			f := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			if seq.Predict(f) != par.Predict(f) {
+				t.Fatalf("n=%d: predictions diverge at %v", n, f)
+			}
+		}
 	}
 }
 

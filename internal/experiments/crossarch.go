@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// ArchAccuracy summarises one proxy-vs-real comparison on one processor
+// generation: the average per-metric accuracy and the weakest metric.
+type ArchAccuracy struct {
+	Average       float64
+	WorstMetric   string
+	WorstAccuracy float64
+}
+
+// CrossArchRow is one row of the cross-architecture accuracy table: the same
+// qualified proxy benchmark evaluated against its real workload on both the
+// Westmere and the Haswell three-node deployments of Section IV-C.  Figure
+// 10 compares runtime *speedups* across the two generations; this table
+// makes the underlying per-architecture accuracy explicit — the paper's
+// claim that a proxy tuned once remains representative across systems.
+type CrossArchRow struct {
+	Workload string
+	Westmere ArchAccuracy
+	Haswell  ArchAccuracy
+}
+
+func archAccuracy(realRep, proxRep sim.Report) ArchAccuracy {
+	rep := perf.CompareMetrics(realRep.Metrics, proxRep.Metrics, nil)
+	name, worst := rep.Worst()
+	return ArchAccuracy{Average: rep.Average(), WorstMetric: name, WorstAccuracy: worst}
+}
+
+// TableCrossArch produces the cross-architecture accuracy comparison.  The
+// four measurements of every workload (real and proxy on each generation)
+// are independent and run concurrently on the worker pool, and they share
+// the suite's report caches with Table VII, Figure 9 and Figure 10.
+func (s *Suite) TableCrossArch() ([]CrossArchRow, error) {
+	rows := make([]CrossArchRow, len(WorkloadOrder))
+	err := forEachWorkload(func(i int, short string) error {
+		var realWest, realHas, proxWest, proxHas sim.Report
+		errs := make([]error, 4)
+		parallel.Do(
+			func() { realWest, errs[0] = s.realReport(short, threeNodeWestmere) },
+			func() { realHas, errs[1] = s.realReport(short, threeNodeHaswell) },
+			func() { proxWest, errs[2] = s.proxyReport(short, threeNodeWestmere) },
+			func() { proxHas, errs[3] = s.proxyReport(short, threeNodeHaswell) },
+		)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		rows[i] = CrossArchRow{
+			Workload: displayName(short),
+			Westmere: archAccuracy(realWest, proxWest),
+			Haswell:  archAccuracy(realHas, proxHas),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatCrossArchRows renders the cross-architecture accuracy table.
+func FormatCrossArchRows(rows []CrossArchRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%.1f%%", r.Westmere.Average*100),
+			fmt.Sprintf("%.3f (%s)", r.Westmere.WorstAccuracy, r.Westmere.WorstMetric),
+			fmt.Sprintf("%.1f%%", r.Haswell.Average*100),
+			fmt.Sprintf("%.3f (%s)", r.Haswell.WorstAccuracy, r.Haswell.WorstMetric),
+		})
+	}
+	return "Cross-Architecture Proxy Accuracy (three-node Westmere vs Haswell clusters)\n" +
+		formatTable([]string{"Workload", "Westmere avg", "Westmere worst", "Haswell avg", "Haswell worst"}, cells)
+}

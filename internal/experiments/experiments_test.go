@@ -244,6 +244,36 @@ func TestFigure10CrossArchitectureTrends(t *testing.T) {
 	}
 }
 
+func TestTableCrossArchAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the cross-architecture study in short mode")
+	}
+	rows, err := shared.TableCrossArch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("cross-arch table should have 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// The same untuned proxies that pass Figure 4/9 must stay
+		// representative on the other processor generation too.
+		if r.Westmere.Average < 0.2 || r.Haswell.Average < 0.2 {
+			t.Errorf("%s cross-arch accuracy too low: westmere %.2f, haswell %.2f",
+				r.Workload, r.Westmere.Average, r.Haswell.Average)
+		}
+		if r.Westmere.WorstMetric == "" || r.Haswell.WorstMetric == "" {
+			t.Errorf("%s should name its worst metric", r.Workload)
+		}
+	}
+	out := FormatCrossArchRows(rows)
+	for _, want := range []string{"Westmere avg", "Haswell worst", "TeraSort"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted cross-arch table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSuiteCachesRealRuns(t *testing.T) {
 	s := NewSuite()
 	if _, err := s.realReport("terasort", fiveNodeWestmere); err != nil {

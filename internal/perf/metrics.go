@@ -165,14 +165,20 @@ func Accuracy(valR, valP float64) float64 {
 		}
 		return 0
 	}
-	acc := 1 - math.Abs(valP-valR)/math.Abs(valR)
-	if acc < 0 {
-		return 0
+	return Clamp(1-math.Abs(valP-valR)/math.Abs(valR), 0, 1)
+}
+
+// Clamp limits v to the closed interval [lo, hi].  It is the shared scalar
+// helper used wherever a metric, accuracy or tuning factor must stay inside
+// a fixed range.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
 	}
-	if acc > 1 {
-		return 1
+	if v > hi {
+		return hi
 	}
-	return acc
+	return v
 }
 
 // Deviation returns the relative deviation |valP-valR|/|valR| of the proxy
@@ -238,14 +244,17 @@ var DefaultAccuracyMetrics = []string{
 	"disk_io_bw",
 }
 
-// Average returns the mean accuracy over all metrics in the report.
+// Average returns the mean accuracy over all metrics in the report.  The
+// summation runs in sorted metric-name order so the result is bit-identical
+// across runs (map iteration order must not leak into float rounding: the
+// auto-tuner compares averages when accepting or rejecting a move).
 func (r AccuracyReport) Average() float64 {
 	if len(r.PerMetric) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, v := range r.PerMetric {
-		sum += v
+	for _, n := range sortedKeys(r.PerMetric) {
+		sum += r.PerMetric[n]
 	}
 	return sum / float64(len(r.PerMetric))
 }
@@ -262,6 +271,13 @@ func (r AccuracyReport) Worst() (string, float64) {
 		return "", 0
 	}
 	return worstName, worst
+}
+
+// WorstAccuracy returns the lowest per-metric accuracy of the report (the
+// value half of Worst), 0 for an empty report.
+func (r AccuracyReport) WorstAccuracy() float64 {
+	_, w := r.Worst()
+	return w
 }
 
 // String renders the report sorted by metric name.

@@ -218,4 +218,42 @@ func TestAccuracyReportEmpty(t *testing.T) {
 	if name, _ := rep.Worst(); name != "" {
 		t.Fatal("empty report should have no worst metric")
 	}
+	if rep.WorstAccuracy() != 0 {
+		t.Fatal("empty report worst accuracy should be 0")
+	}
+}
+
+func TestWorstAccuracyMatchesWorst(t *testing.T) {
+	rep := AccuracyReport{PerMetric: map[string]float64{"IPC": 0.9, "MIPS": 0.4, "L2_hit": 0.7}}
+	if _, w := rep.Worst(); rep.WorstAccuracy() != w || w != 0.4 {
+		t.Fatalf("WorstAccuracy() = %g, Worst() value = %g", rep.WorstAccuracy(), w)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 1, 3) != 3 || Clamp(-1, 1, 3) != 1 || Clamp(2, 1, 3) != 2 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+// Average must not depend on map iteration order: the tuner compares
+// averages bit-for-bit when accepting or rejecting a move, so the float
+// summation order has to be fixed.
+func TestAverageIsOrderDeterministic(t *testing.T) {
+	rep := AccuracyReport{PerMetric: map[string]float64{}}
+	for i, n := range MetricNames {
+		rep.PerMetric[n] = 0.1 + 0.8*float64(i)/float64(len(MetricNames)-1)
+	}
+	first := rep.Average()
+	for i := 0; i < 50; i++ {
+		// Rebuild the map so Go's randomised iteration order gets a chance
+		// to differ; the sorted summation must hide it completely.
+		m := map[string]float64{}
+		for k, v := range rep.PerMetric {
+			m[k] = v
+		}
+		if got := (AccuracyReport{PerMetric: m}).Average(); got != first {
+			t.Fatalf("Average changed across identical reports: %v vs %v", got, first)
+		}
+	}
 }

@@ -67,6 +67,23 @@ func MustNewCluster(cfg ClusterConfig) *Cluster {
 // Config returns the cluster configuration (with defaults filled in).
 func (c *Cluster) Config() ClusterConfig { return c.cfg }
 
+// Clone returns an independent cluster with the same configuration in its
+// reset state (fresh nodes, zero elapsed time, no recorded stages).  Because
+// every measurement entry point resets its cluster first, running the same
+// deterministic workload on a clone produces bit-identical reports to running
+// it on the original — which is what lets the auto-tuner fan independent
+// evaluations out over the worker pool, one clone per in-flight evaluation,
+// without sharing any per-node cache or allocator state.
+func (c *Cluster) Clone() *Cluster {
+	clone, err := NewCluster(c.cfg)
+	if err != nil {
+		// c.cfg was validated when c itself was built, so this is unreachable
+		// short of memory corruption.
+		panic(fmt.Sprintf("sim: cloning validated cluster: %v", err))
+	}
+	return clone
+}
+
 // Nodes returns all nodes, master first.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 

@@ -129,6 +129,41 @@ func TestClusterElapsedAccumulatesAcrossStages(t *testing.T) {
 	}
 }
 
+func TestClusterCloneIsIndependentAndDeterministic(t *testing.T) {
+	orig := MustNewCluster(FiveNodeWestmere())
+	work := func(c *Cluster) Report {
+		c.RunTasks("w", 4, 1, func(i int, ex *Exec) {
+			r := ex.Node().Alloc(1 << 20)
+			ex.Int(100_000)
+			ex.Load(r, 0, 1<<20)
+		})
+		return c.Report("w")
+	}
+	ref := work(MustNewCluster(FiveNodeWestmere()))
+
+	clone := orig.Clone()
+	if clone == orig {
+		t.Fatal("Clone must return a distinct cluster")
+	}
+	if clone.Config() != orig.Config() {
+		t.Fatal("Clone must keep the configuration")
+	}
+	got := work(clone)
+	// Same deterministic workload on a clone: bit-identical report.
+	if got.Runtime != ref.Runtime || got.Aggregate != ref.Aggregate {
+		t.Fatalf("clone report differs: %+v vs %+v", got, ref)
+	}
+	// The original saw none of the clone's execution.
+	if orig.Elapsed() != 0 || len(orig.Stages()) != 0 {
+		t.Fatal("running on a clone must not advance the original cluster")
+	}
+	for _, n := range orig.Nodes() {
+		if !n.Counters().IsZero() {
+			t.Fatalf("node %d of the original accumulated counters", n.ID())
+		}
+	}
+}
+
 func TestClusterMoreWorkTakesLonger(t *testing.T) {
 	small := MustNewCluster(SingleNode(arch.Westmere(), 0))
 	small.RunTasks("w", 1, 1, func(i int, ex *Exec) { ex.Int(1_000_000) })

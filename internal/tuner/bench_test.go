@@ -1,0 +1,45 @@
+package tuner
+
+import (
+	"testing"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/parallel"
+)
+
+// BenchmarkTune compares the sequential and parallel auto-tuning pipeline on
+// the same proxy benchmark and target.  The two variants produce bit-identical
+// Results (see TestTuneParallelMatchesSequential); the benchmark measures the
+// host wall-clock of the impact-analysis fan-out and memoized feedback loop,
+// so on a multi-core host `parallel` shows the speedup of the tuning
+// pipeline.  Tracked by `make bench-json` alongside the cache-engine hot
+// path.
+func BenchmarkTune(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchmarkTune(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkTune(b, 0) })
+}
+
+func benchmarkTune(b *testing.B, workers int) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+
+	proxyB := smallProxy()
+	rep, err := core.Run(singleNode(), proxyB, core.Setting{"numTasks": 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := rep.Metrics
+	opts := Options{MaxIterations: 4, Threshold: 0.05}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Tune(singleNode(), proxyB, target, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Evaluations), "simulations")
+			b.ReportMetric(res.Report.Average()*100, "avg-accuracy-%")
+		}
+	}
+}

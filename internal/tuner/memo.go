@@ -1,0 +1,75 @@
+package tuner
+
+import (
+	"fmt"
+	"sync"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// Memo is a singleflight-style cache of proxy-benchmark measurements keyed
+// by (benchmark, canonicalized setting, architecture profile).  The first
+// caller of a key executes the simulation; concurrent callers of the same
+// key block for that result; later callers get the cached metrics with zero
+// new simulation.  It follows the same per-key discipline as the
+// experiments.Suite report caches, and one Memo may be shared across the
+// concurrent per-profile tunes of TuneAll because the profile is part of
+// every key.  All methods are safe for concurrent use.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once    sync.Once
+	metrics perf.Metrics
+	err     error
+}
+
+// NewMemo returns an empty measurement memo.
+func NewMemo() *Memo {
+	return &Memo{entries: make(map[string]*memoEntry)}
+}
+
+// MemoKey builds the cache key of one proxy measurement: the benchmark name,
+// the complete cluster configuration (architecture profile included), and
+// the bit-exact canonical form of the tuning setting.  The whole
+// configuration is fingerprinted — not just its name — because every field
+// (sampling rate, modelling caps, memory capacity, cache geometry) changes
+// simulation results, so two configurations must never alias in a shared
+// memo.
+func MemoKey(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) string {
+	return fmt.Sprintf("%s|%+v|%s", b.Name, cluster.Config(), s.Canonical())
+}
+
+// Measure returns the metrics for key, executing run only if the key has
+// never been measured.  fresh reports whether this call performed the
+// simulation (false: the result came from the cache or another in-flight
+// caller).  Errors are cached alongside results so a failing setting is not
+// re-simulated either.
+func (m *Memo) Measure(key string, run func() (perf.Metrics, error)) (metrics perf.Metrics, fresh bool, err error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	e := m.entries[key]
+	if e == nil {
+		e = &memoEntry{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		fresh = true
+		e.metrics, e.err = run()
+	})
+	return e.metrics, fresh, e.err
+}
+
+// Size returns the number of distinct settings measured (or in flight).
+func (m *Memo) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

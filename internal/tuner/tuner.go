@@ -6,35 +6,51 @@
 // (pick the parameter the trees say will best fix the worst-deviating
 // metric) and a feedback stage (re-measure accuracy) until every metric's
 // deviation is within the threshold or the iteration budget is exhausted.
+//
+// The pipeline is parallel and memoized: impact-analysis perturbations and
+// per-metric tree fits fan out over the shared worker pool
+// (internal/parallel), every evaluation runs on its own clone of the proxy
+// cluster so per-node state stays deterministic, and a singleflight Memo
+// keyed by (benchmark, canonical setting, architecture profile) guarantees
+// that no setting is ever simulated twice.  Results are bit-identical at any
+// worker count.  TuneAll qualifies one proxy per architecture profile
+// concurrently, reproducing the paper's cross-system validation.
 package tuner
 
 import (
 	"fmt"
+	"math"
 
 	"dataproxy/internal/core"
 	"dataproxy/internal/dtree"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
 )
 
 // Options controls the tuning process.
 type Options struct {
-	// Threshold is the accepted relative deviation per metric (the paper
-	// uses 15%).  Zero selects the default.
+	// Threshold is the accepted relative deviation per metric, as a fraction
+	// in (0, 1] (the paper uses 15%).  Zero selects the default 0.15.
 	Threshold float64
-	// MaxIterations bounds the adjust/feedback loop (default 12).
+	// MaxIterations bounds the adjust/feedback loop.  Zero selects the
+	// default 12.
 	MaxIterations int
-	// Metrics selects the metrics to match (default perf.DefaultAccuracyMetrics).
+	// Metrics selects the metric names (perf.MetricNames) to match.  Empty
+	// selects perf.DefaultAccuracyMetrics.
 	Metrics []string
-	// Parameters selects which tunable parameters may be adjusted (default:
-	// dataSize, chunkSize, numTasks, weight).
+	// Parameters selects which tunable parameters (core.ParameterNames) may
+	// be adjusted.  Empty selects dataSize, chunkSize, numTasks and weight.
 	Parameters []string
 	// ImpactFactors are the multiplicative perturbations applied to each
-	// parameter during impact analysis.
+	// parameter during impact analysis.  Empty selects 0.6, 0.8, 1.25, 1.6.
 	ImpactFactors []float64
-	// Step is the multiplicative adjustment applied per iteration (default 1.3).
+	// Step is the multiplicative adjustment applied per iteration; values
+	// must exceed 1 (the reciprocal is tried too).  Zero or less selects the
+	// default 1.3.
 	Step float64
-	// MinFactor and MaxFactor clamp every parameter factor.
+	// MinFactor and MaxFactor clamp every parameter factor.  Zero selects
+	// the defaults 0.2 and 5.
 	MinFactor float64
 	MaxFactor float64
 }
@@ -94,33 +110,91 @@ type Result struct {
 	Iterations int
 	// History records each round.
 	History []Iteration
-	// Evaluations counts how many times the proxy benchmark was executed
-	// (impact analysis + feedback evaluations).
+	// Evaluations counts how many distinct proxy simulations were executed
+	// on behalf of this tune (impact analysis + feedback evaluations).
+	// Settings recalled from the measurement memo are counted in MemoHits
+	// instead and perform zero new simulation.
 	Evaluations int
+	// MemoHits counts the evaluations served from the measurement memo.
+	MemoHits int
+}
+
+// evaluator measures proxy settings through a shared Memo, cloning the
+// prototype cluster for every executed simulation.  The counter fields are
+// owned by the tune's driving goroutine; parallel phases measure through
+// measureRaw and account for their fresh flags sequentially afterwards.
+type evaluator struct {
+	proto       *sim.Cluster
+	b           *core.Benchmark
+	memo        *Memo
+	evaluations int
+	memoHits    int
+}
+
+// measureRaw evaluates one setting via the memo.  It is safe for concurrent
+// use; it does not touch the counters.
+func (ev *evaluator) measureRaw(s core.Setting) (perf.Metrics, bool, error) {
+	return ev.memo.Measure(MemoKey(ev.proto, ev.b, s), func() (perf.Metrics, error) {
+		rep, err := core.Run(ev.proto.Clone(), ev.b, s)
+		if err != nil {
+			return perf.Metrics{}, err
+		}
+		return rep.Metrics, nil
+	})
+}
+
+// measure is the sequential-phase entry point: evaluate and account.
+func (ev *evaluator) measure(s core.Setting) (perf.Metrics, error) {
+	m, fresh, err := ev.measureRaw(s)
+	ev.account(fresh)
+	return m, err
+}
+
+func (ev *evaluator) account(fresh bool) {
+	if fresh {
+		ev.evaluations++
+	} else {
+		ev.memoHits++
+	}
 }
 
 // Tune runs the full auto-tuning process of the paper's Figure 3 for one
 // proxy benchmark against the target metrics measured on the real workload.
+// The cluster is used as a prototype only: every evaluation runs on a fresh
+// clone, so the passed cluster's state is never mutated and evaluations can
+// execute concurrently.
 func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	res := Result{Setting: core.DefaultSetting()}
+	return TuneWithMemo(cluster, b, target, opts, NewMemo())
+}
 
-	evaluate := func(s core.Setting) (perf.Metrics, error) {
-		rep, err := core.Run(cluster, b, s)
-		if err != nil {
-			return perf.Metrics{}, err
-		}
-		res.Evaluations++
-		return rep.Metrics, nil
+// TuneWithMemo is Tune with a caller-supplied measurement memo, so several
+// tunes of the same benchmark (e.g. the per-profile tunes of TuneAll, or a
+// re-tune with a tighter threshold) share simulations.  The memo keys
+// include the benchmark, cluster and architecture profile, so sharing a memo
+// across different targets is always safe.
+func TuneWithMemo(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Options, memo *Memo) (res Result, err error) {
+	opts = opts.withDefaults()
+	if memo == nil {
+		memo = NewMemo()
 	}
+	res = Result{Setting: core.DefaultSetting()}
+	ev := &evaluator{proto: cluster, b: b, memo: memo}
+	defer func() {
+		res.Evaluations = ev.evaluations
+		res.MemoHits = ev.memoHits
+	}()
 
 	// Baseline evaluation with the initial weights/parameters.
-	baseline, err := evaluate(res.Setting)
+	baseline, err := ev.measure(res.Setting)
 	if err != nil {
 		return res, fmt.Errorf("tuner: baseline evaluation failed: %w", err)
 	}
 
-	// --- Impact analysis: perturb one parameter at a time.
+	// --- Impact analysis: perturb one parameter at a time.  The
+	// perturbations are independent simulations, so they fan out over the
+	// worker pool; the observations are then recorded in canonical
+	// (parameter, factor) order so the decision trees are fitted on exactly
+	// the sample sequence the sequential path produces.
 	samples := map[string][]dtree.Sample{}
 	record := func(s core.Setting, m perf.Metrics) {
 		feat := featureVector(s, opts.Parameters)
@@ -129,16 +203,38 @@ func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Opt
 		}
 	}
 	record(res.Setting, baseline)
+
+	type impactJob struct {
+		param  string
+		factor float64
+	}
+	jobs := make([]impactJob, 0, len(opts.Parameters)*len(opts.ImpactFactors))
 	for _, p := range opts.Parameters {
 		for _, f := range opts.ImpactFactors {
-			s := res.Setting.Clone()
-			s[p] = f
-			m, err := evaluate(s)
-			if err != nil {
-				return res, fmt.Errorf("tuner: impact analysis of %s failed: %w", p, err)
-			}
-			record(s, m)
+			jobs = append(jobs, impactJob{param: p, factor: f})
 		}
+	}
+	type impactObs struct {
+		setting core.Setting
+		metrics perf.Metrics
+		fresh   bool
+		err     error
+	}
+	observations := make([]impactObs, len(jobs))
+	parallel.For(len(jobs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := res.Setting.Clone()
+			s[jobs[i].param] = jobs[i].factor
+			m, fresh, err := ev.measureRaw(s)
+			observations[i] = impactObs{setting: s, metrics: m, fresh: fresh, err: err}
+		}
+	})
+	for i, obs := range observations {
+		ev.account(obs.fresh)
+		if obs.err != nil {
+			return res, fmt.Errorf("tuner: impact analysis of %s failed: %w", jobs[i].param, obs.err)
+		}
+		record(obs.setting, obs.metrics)
 	}
 	trees, err := fitTrees(samples, opts.Metrics)
 	if err != nil {
@@ -168,8 +264,10 @@ func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Opt
 		candidate := current.Clone()
 		candidate[param] = factor
 
-		// Feedback stage: evaluate the adjusted proxy benchmark.
-		m, err := evaluate(candidate)
+		// Feedback stage: evaluate the adjusted proxy benchmark.  A
+		// candidate the loop has already visited (e.g. a re-proposed
+		// rejected move) comes straight from the memo.
+		m, err := ev.measure(candidate)
 		if err != nil {
 			return res, fmt.Errorf("tuner: feedback evaluation failed: %w", err)
 		}
@@ -185,7 +283,7 @@ func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Opt
 			Parameter: param,
 			Factor:    factor,
 			Average:   newReport.Average(),
-			Worst:     worstOf(newReport),
+			Worst:     newReport.WorstAccuracy(),
 		})
 		// Accept the move only if it does not reduce the average accuracy;
 		// otherwise keep the previous setting and let the next iteration try
@@ -200,15 +298,10 @@ func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Opt
 	res.Setting = current
 	res.Report = final
 	res.ProxyMetrics = metrics
-	if _, worstAcc := final.Worst(); 1-worstAcc <= opts.Threshold {
+	if 1-final.WorstAccuracy() <= opts.Threshold {
 		res.Converged = true
 	}
 	return res, nil
-}
-
-func worstOf(r perf.AccuracyReport) float64 {
-	_, w := r.Worst()
-	return w
 }
 
 func featureVector(s core.Setting, params []string) []float64 {
@@ -219,14 +312,23 @@ func featureVector(s core.Setting, params []string) []float64 {
 	return v
 }
 
+// fitTrees fits one regression tree per metric.  The fits are independent,
+// so they fan out over the worker pool; the first error in metric order is
+// returned.
 func fitTrees(samples map[string][]dtree.Sample, metrics []string) (map[string]*dtree.Tree, error) {
-	trees := make(map[string]*dtree.Tree, len(metrics))
-	for _, name := range metrics {
-		t, err := dtree.Fit(samples[name], dtree.Config{})
-		if err != nil {
-			return nil, fmt.Errorf("tuner: fitting decision tree for %s: %w", name, err)
+	fitted := make([]*dtree.Tree, len(metrics))
+	errs := make([]error, len(metrics))
+	parallel.For(len(metrics), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fitted[i], errs[i] = dtree.Fit(samples[metrics[i]], dtree.Config{})
 		}
-		trees[name] = t
+	})
+	trees := make(map[string]*dtree.Tree, len(metrics))
+	for i, name := range metrics {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("tuner: fitting decision tree for %s: %w", name, errs[i])
+		}
+		trees[name] = fitted[i]
 	}
 	return trees, nil
 }
@@ -238,12 +340,13 @@ func bestMove(tree *dtree.Tree, current core.Setting, target float64, opts Optio
 	if tree == nil {
 		return "", 0
 	}
+	importance := tree.FeatureImportance()
 	bestParam := ""
 	bestFactor := 0.0
 	bestDist := -1.0
 	for i, p := range opts.Parameters {
 		for _, dir := range []float64{opts.Step, 1 / opts.Step} {
-			factor := clamp(current.Get(p)*dir, opts.MinFactor, opts.MaxFactor)
+			factor := perf.Clamp(current.Get(p)*dir, opts.MinFactor, opts.MaxFactor)
 			if factor == current.Get(p) {
 				continue
 			}
@@ -251,10 +354,9 @@ func bestMove(tree *dtree.Tree, current core.Setting, target float64, opts Optio
 			candidate[p] = factor
 			feat := featureVector(candidate, opts.Parameters)
 			predicted := tree.Predict(feat)
-			dist := abs(predicted - target)
+			dist := math.Abs(predicted - target)
 			// Prefer parameters the tree considers influential for this
 			// metric; break ties toward earlier (coarser) parameters.
-			importance := tree.FeatureImportance()
 			weighted := dist * (1.1 - 0.1*importance[i])
 			if bestDist < 0 || weighted < bestDist {
 				bestDist = weighted
@@ -264,21 +366,4 @@ func bestMove(tree *dtree.Tree, current core.Setting, target float64, opts Optio
 		}
 	}
 	return bestParam, bestFactor
-}
-
-func clamp(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

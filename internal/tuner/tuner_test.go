@@ -1,12 +1,16 @@
 package tuner
 
 import (
+	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
 	"dataproxy/internal/datagen"
 	"dataproxy/internal/motif"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
 )
@@ -151,11 +155,161 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 }
 
-func TestClampAndAbs(t *testing.T) {
-	if clamp(5, 1, 3) != 3 || clamp(-1, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
-		t.Fatal("clamp misbehaves")
+// TestTuneParallelMatchesSequential is the property the parallel pipeline
+// must keep: the full Result — setting, accuracy report, history, iteration
+// and evaluation counts — is bit-identical whether the impact analysis and
+// tree fits run on one worker or many.
+func TestTuneParallelMatchesSequential(t *testing.T) {
+	target := selfTarget(t, core.Setting{"numTasks": 0.25})
+	opts := fastOptions()
+	opts.MaxIterations = 6
+	opts.Threshold = 0.05
+
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	seq, err := Tune(singleNode(), smallProxy(), target, opts)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if abs(-2) != 2 || abs(3) != 3 {
-		t.Fatal("abs misbehaves")
+	for _, workers := range []int{2, 8} {
+		parallel.SetWorkers(workers)
+		par, err := Tune(singleNode(), smallProxy(), target, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d result differs from sequential:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+	}
+}
+
+// TestTuneMemoSkipsRepeatedSettings proves the memo hit path: duplicated
+// impact factors request the same setting twice, but only distinct settings
+// are ever simulated.
+func TestTuneMemoSkipsRepeatedSettings(t *testing.T) {
+	target := selfTarget(t, nil)
+	opts := fastOptions()
+	opts.ImpactFactors = []float64{0.7, 0.7, 1.4} // one duplicated perturbation per parameter
+	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 baseline + 2 distinct factors x 2 parameters; the duplicates must be
+	// memo hits, not fresh simulations.
+	wantUnique := 1 + 2*len(opts.Parameters)
+	if res.Evaluations != wantUnique {
+		t.Fatalf("Evaluations = %d, want %d distinct simulations", res.Evaluations, wantUnique)
+	}
+	if res.MemoHits < len(opts.Parameters) {
+		t.Fatalf("MemoHits = %d, want at least one per duplicated parameter (%d)", res.MemoHits, len(opts.Parameters))
+	}
+}
+
+// TestMemoSingleflight drives the Memo directly: a repeated key performs
+// zero new simulation, even under concurrent lookups.
+func TestMemoSingleflight(t *testing.T) {
+	memo := NewMemo()
+	var runs atomic.Int64
+	run := func() (perf.Metrics, error) {
+		runs.Add(1)
+		return perf.Metrics{IPC: 1.5}, nil
+	}
+	fresh := make([]bool, 16)
+	parallel.For(len(fresh), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m, f, err := memo.Measure("same-key", run)
+			if err != nil || m.IPC != 1.5 {
+				t.Errorf("Measure returned %v, %v", m, err)
+			}
+			fresh[i] = f
+		}
+	})
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run executed %d times, want exactly 1", got)
+	}
+	freshCount := 0
+	for _, f := range fresh {
+		if f {
+			freshCount++
+		}
+	}
+	if freshCount != 1 {
+		t.Fatalf("%d callers observed fresh=true, want exactly 1", freshCount)
+	}
+	if memo.Size() != 1 {
+		t.Fatalf("memo size %d, want 1", memo.Size())
+	}
+	if _, f, _ := memo.Measure("same-key", run); f || runs.Load() != 1 {
+		t.Fatal("a later lookup of a measured key must not simulate again")
+	}
+}
+
+// TestMemoKeyFingerprintsFullClusterConfig guards against memo aliasing:
+// any cluster-configuration field that changes simulation results must
+// change the key, not just the configuration's display name.
+func TestMemoKeyFingerprintsFullClusterConfig(t *testing.T) {
+	b := smallProxy()
+	base := sim.SingleNode(arch.Westmere(), 0)
+	ref := MemoKey(sim.MustNewCluster(base), b, nil)
+
+	sampled := base
+	sampled.EventSampleRate = 16
+	if MemoKey(sim.MustNewCluster(sampled), b, nil) == ref {
+		t.Fatal("EventSampleRate must be part of the memo key")
+	}
+	capped := base
+	capped.MaxModelOpsPerCall = 7
+	if MemoKey(sim.MustNewCluster(capped), b, nil) == ref {
+		t.Fatal("MaxModelOpsPerCall must be part of the memo key")
+	}
+	if MemoKey(sim.MustNewCluster(sim.SingleNode(arch.Haswell(), 0)), b, nil) == ref {
+		t.Fatal("the architecture profile must be part of the memo key")
+	}
+	if MemoKey(sim.MustNewCluster(base), b, core.Setting{"dataSize": 0.5}) == ref {
+		t.Fatal("the setting must be part of the memo key")
+	}
+	if MemoKey(sim.MustNewCluster(base), b, nil) != ref {
+		t.Fatal("identical configurations must share a key")
+	}
+}
+
+// TestTuneAllQualifiesAcrossArchitectures runs the cross-architecture
+// qualification on both stock profiles against per-profile self-targets.
+func TestTuneAllQualifiesAcrossArchitectures(t *testing.T) {
+	profiles := []arch.Profile{arch.Westmere(), arch.Haswell()}
+	targets := make([]Target, len(profiles))
+	for i, p := range profiles {
+		rep, err := core.Run(sim.MustNewCluster(sim.SingleNode(p, 0)), smallProxy(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[i] = Target{Profile: p, Metrics: rep.Metrics}
+	}
+	results, err := TuneAll(smallProxy(), targets, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Profile.Name != profiles[i].Name {
+			t.Fatalf("result %d is for %q, want %q", i, r.Profile.Name, profiles[i].Name)
+		}
+		if !r.Result.Converged {
+			t.Errorf("%s: self-target should converge; report:\n%s", r.Profile.Name, r.Result.Report.String())
+		}
+		if r.Result.Evaluations == 0 {
+			t.Errorf("%s: no simulations executed", r.Profile.Name)
+		}
+	}
+	matrix := FormatAccuracyMatrix(results, nil)
+	for _, want := range []string{"Westmere", "Haswell", "average", "converged", "IPC"} {
+		if !strings.Contains(matrix, want) {
+			t.Errorf("accuracy matrix missing %q:\n%s", want, matrix)
+		}
+	}
+	if _, err := TuneAll(smallProxy(), nil, fastOptions()); err == nil {
+		t.Fatal("TuneAll without targets should be rejected")
 	}
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# lint-links.sh checks that every relative markdown link in the top-level
+# docs resolves to an existing file, so README/ROADMAP/docs references cannot
+# rot silently.  External (http/https/mailto) links are not fetched.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  links=$(grep -oE '\]\([^) ]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//; s/#.*$//') || true
+  for link in $links; do
+    case "$link" in
+    http://* | https://* | mailto:* | "") continue ;;
+    esac
+    if [ ! -e "$dir/$link" ] && [ ! -e "$link" ]; then
+      echo "$f: broken link: $link"
+      status=1
+    fi
+  done
+done
+exit $status
