@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full bench bench-json lint lint-docs lint-links fmt
+.PHONY: build test test-full bench bench-json bench-check cover lint lint-docs lint-links fmt
 
 ## build: compile every package and command
 build:
@@ -20,14 +20,41 @@ bench:
 
 ## bench-json: track the hot paths — the cache-engine CacheAccess/ExecLoad
 ## microbenchmarks plus the sequential-vs-parallel auto-tuning pipeline
-## (BenchmarkTune) — and write the results to BENCH_cache.json
+## (BenchmarkTune) — and write the results to BENCH_cache.json.  Each
+## benchmark runs -count=5 times; benchjson keeps the minimum ns/op (and the
+## maximum allocs/op) so one noisy host run cannot skew the baseline.
 bench-json:
-	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=20000x -json \
+	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json \
 		./internal/arch ./internal/sim > BENCH_cache.tmp
-	$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=1x -json \
+	$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json \
 		./internal/tuner >> BENCH_cache.tmp
 	$(GO) run ./cmd/benchjson < BENCH_cache.tmp > BENCH_cache.json
 	rm -f BENCH_cache.tmp
+
+## bench-check: the bench regression gate — rerun the tracked hot-path
+## benchmarks and diff them against the committed BENCH_cache.json baseline;
+## fails on >25% ns/op regressions or new allocations on zero-alloc
+## benchmarks.  BENCH_GATE=off falls back to a -benchtime=1x smoke run for
+## hosts too noisy to hold the baseline (refresh the baseline itself with
+## `make bench-json`, ideally from the nightly workflow's artifact).
+bench-check:
+	@if [ "$(BENCH_GATE)" = "off" ]; then \
+		echo "bench-check: BENCH_GATE=off -- smoke run only (no baseline comparison)"; \
+		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchtime=1x ./internal/arch ./internal/sim && \
+		$(GO) test -run='^$$' -bench='Tune' -benchtime=1x ./internal/tuner; \
+	else \
+		rm -f BENCH_fresh.tmp && \
+		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json ./internal/arch ./internal/sim > BENCH_fresh.tmp && \
+		$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json ./internal/tuner >> BENCH_fresh.tmp && \
+		$(GO) run ./cmd/benchjson -compare BENCH_cache.json -tolerance 0.25 < BENCH_fresh.tmp; \
+		status=$$?; rm -f BENCH_fresh.tmp; exit $$status; \
+	fi
+
+## cover: coverage profile over the short suite + the coverage-floor gate
+## (prints the per-package table; floor lives in scripts/coverage-gate.sh)
+cover:
+	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
+	sh scripts/coverage-gate.sh coverage.out
 
 ## lint: gofmt cleanliness, go vet, godoc coverage and markdown links
 lint: lint-docs lint-links

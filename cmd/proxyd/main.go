@@ -1,0 +1,80 @@
+// Command proxyd is the long-running serving layer: it exposes the proxy
+// benchmark library over HTTP so proxies can be executed, qualified and
+// inspected repeatedly without relaunching a CLI per query.
+//
+// Usage:
+//
+//	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N]
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness
+//	GET  /metrics       request, cache and queue counters (Prometheus-style)
+//	GET  /v1/workloads  servable proxy benchmarks
+//	GET  /v1/archs      servable architecture profiles
+//	POST /v1/run        execute a proxy: {"workload":"terasort","arch":"westmere","setting":{"dataSize":1.5}}
+//	POST /v1/tune       async qualification; poll GET /v1/jobs/{id}
+//
+// Identical /v1/run requests coalesce through the server's result cache
+// (keyed bit-exactly like the auto-tuner's memo); overload is shed with 429.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proxyd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	inflight := flag.Int("inflight", 0, "max concurrent proxy simulations (0 = one per host worker)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond the in-flight slots (0 = default 16, negative = none)")
+	jobQueue := flag.Int("jobqueue", 0, "queued tune jobs before shedding (0 = default 16)")
+	cache := flag.Int("cache", 0, "result-cache entries before the cache is swapped out (0 = default 4096)")
+	par := flag.Int("parallel", 0, "host worker count of the shared execution engine (0 = all CPUs, 1 = sequential)")
+	flag.Parse()
+	parallel.SetWorkers(*par)
+
+	srv, err := serve.New(serve.Config{
+		MaxInFlight:     *inflight,
+		QueueDepth:      *queue,
+		JobQueueDepth:   *jobQueue,
+		MaxCacheEntries: *cache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	cfg := srv.Config()
+	log.Printf("serving the proxy library on %s (workers=%d, inflight=%d, queue=%d)",
+		*addr, parallel.Workers(), cfg.MaxInFlight, cfg.QueueDepth)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

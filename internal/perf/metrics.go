@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -61,27 +62,39 @@ var MetricNames = []string{
 	"disk_io_bw",
 }
 
+// vectorFields returns pointers to the metric fields in MetricNames order.
+// It is the single place that ties the canonical names to the struct layout;
+// Vector, Get, Set and the JSON encoding all derive from it.
+func (m *Metrics) vectorFields() []*float64 {
+	return []*float64{
+		&m.Runtime,
+		&m.IPC,
+		&m.MIPS,
+		&m.LoadRatio,
+		&m.StoreRatio,
+		&m.BranchRatio,
+		&m.IntRatio,
+		&m.FloatRatio,
+		&m.BranchMissRatio,
+		&m.L1IHit,
+		&m.L1DHit,
+		&m.L2Hit,
+		&m.L3Hit,
+		&m.ReadBW,
+		&m.WriteBW,
+		&m.MemBW,
+		&m.DiskBW,
+	}
+}
+
 // Vector returns the metric values in the order of MetricNames.
 func (m Metrics) Vector() []float64 {
-	return []float64{
-		m.Runtime,
-		m.IPC,
-		m.MIPS,
-		m.LoadRatio,
-		m.StoreRatio,
-		m.BranchRatio,
-		m.IntRatio,
-		m.FloatRatio,
-		m.BranchMissRatio,
-		m.L1IHit,
-		m.L1DHit,
-		m.L2Hit,
-		m.L3Hit,
-		m.ReadBW,
-		m.WriteBW,
-		m.MemBW,
-		m.DiskBW,
+	fields := m.vectorFields()
+	v := make([]float64, len(fields))
+	for i, f := range fields {
+		v[i] = *f
 	}
+	return v
 }
 
 // Get returns the metric value by canonical name.  It panics on an unknown
@@ -94,6 +107,59 @@ func (m Metrics) Get(name string) float64 {
 		}
 	}
 	panic(fmt.Sprintf("perf: unknown metric %q", name))
+}
+
+// Set assigns the metric value by canonical name.  Unlike Get it returns an
+// error on an unknown name, because Set's callers (the JSON decoding of a
+// tuning target, the serving API) receive names from outside the process.
+func (m *Metrics) Set(name string, value float64) error {
+	fields := m.vectorFields()
+	for i, n := range MetricNames {
+		if n == name {
+			*fields[i] = value
+			return nil
+		}
+	}
+	return fmt.Errorf("perf: unknown metric %q", name)
+}
+
+// MarshalJSON encodes the metric vector as a JSON object keyed by the
+// canonical MetricNames, emitted in canonical order so the encoding of a
+// given vector is byte-identical across runs (the serving layer's
+// property tests compare response bodies bytewise).
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	v := m.Vector()
+	for i, n := range MetricNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val, err := json.Marshal(v[i])
+		if err != nil {
+			return nil, fmt.Errorf("perf: encoding metric %q: %w", n, err)
+		}
+		fmt.Fprintf(&b, "%q:%s", n, val)
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON decodes a JSON object of canonical metric names into the
+// vector.  Missing metrics keep their previous value (zero on a fresh
+// Metrics); unknown names are rejected so typos in a tuning target cannot
+// silently become zero targets.
+func (m *Metrics) UnmarshalJSON(data []byte) error {
+	var raw map[string]float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("perf: decoding metric vector: %w", err)
+	}
+	for name, v := range raw {
+		if err := m.Set(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FromCounters derives the metric vector from raw counters and the virtual

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -255,5 +256,65 @@ func TestAverageIsOrderDeterministic(t *testing.T) {
 		if got := (AccuracyReport{PerMetric: m}).Average(); got != first {
 			t.Fatalf("Average changed across identical reports: %v vs %v", got, first)
 		}
+	}
+}
+
+// TestMetricsJSONRoundTrip checks the serving layer's wire encoding: every
+// canonical metric survives a marshal/unmarshal round trip, the key order is
+// canonical (deterministic bytes), and Set/Get agree with the JSON names.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	var m Metrics
+	for i, name := range MetricNames {
+		if err := m.Set(name, float64(i)+0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical key order makes the encoding byte-deterministic.
+	idx := -1
+	for _, name := range MetricNames {
+		next := strings.Index(string(data), `"`+name+`"`)
+		if next < 0 {
+			t.Fatalf("encoding is missing %q: %s", name, data)
+		}
+		if next < idx {
+			t.Fatalf("metric %q encoded out of canonical order: %s", name, data)
+		}
+		idx = next
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip lost data:\n%+v\nvs\n%+v", back, m)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-encoding is not byte-identical:\n%s\nvs\n%s", again, data)
+	}
+}
+
+// TestMetricsJSONPartialAndUnknown pins the decoding contract: missing
+// metrics keep their previous value, unknown names are rejected.
+func TestMetricsJSONPartialAndUnknown(t *testing.T) {
+	m := Metrics{IPC: 9}
+	if err := json.Unmarshal([]byte(`{"MIPS": 120}`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.IPC != 9 || m.MIPS != 120 {
+		t.Fatalf("partial decode got %+v", m)
+	}
+	if err := json.Unmarshal([]byte(`{"ipc": 1}`), &m); err == nil {
+		t.Fatal("unknown metric name must be rejected")
+	}
+	if err := m.Set("cycles", 1); err == nil {
+		t.Fatal("Set of an unknown metric must error")
 	}
 }

@@ -194,6 +194,19 @@ func All() []*core.Benchmark {
 	return []*core.Benchmark{TeraSort(), KMeans(), PageRank(), AlexNet(), InceptionV3()}
 }
 
+// Workloads returns the short names of the real workloads that have a
+// generated proxy ("terasort", "kmeans", ...), in the paper's order.  It is
+// the valid input domain of ForWorkload and what the serving layer's
+// GET /v1/workloads endpoint enumerates.
+func Workloads() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Workload
+	}
+	return names
+}
+
 // ForWorkload returns the proxy benchmark mimicking the named real workload
 // ("terasort", "kmeans", "pagerank", "alexnet", "inception").
 func ForWorkload(shortName string) (*core.Benchmark, error) {

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState enumerates the lifecycle of an asynchronous tuning job.
+type JobState string
+
+// The job lifecycle: a job is queued on POST /v1/tune, running while the
+// dispatcher executes it, and ends done (result available) or failed
+// (error recorded).
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous proxy-qualification request and its outcome,
+// polled via GET /v1/jobs/{id}.
+type Job struct {
+	// ID is the opaque job identifier returned by POST /v1/tune.
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State JobState `json:"state"`
+	// Workload and Arch echo the tuning request.
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	// Created and Finished are wall-clock timestamps (Finished is zero until
+	// the job completes).
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Error holds the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Result holds the tuning outcome of a done job.
+	Result *TuneResult `json:"result,omitempty"`
+}
+
+// jobStore is an in-memory job registry.  It is the persistence boundary a
+// future PR can move behind an interface; today jobs live in the process,
+// bounded by cap: once the store exceeds it, the oldest finished jobs are
+// pruned (queued/running jobs are never pruned), so a long-running daemon's
+// job history cannot grow its heap without bound.
+type jobStore struct {
+	mu    sync.Mutex
+	seq   int
+	cap   int
+	jobs  map[string]*Job
+	order []string // creation order, for pruning oldest finished jobs first
+}
+
+func newJobStore(cap int) *jobStore {
+	return &jobStore{cap: cap, jobs: make(map[string]*Job)}
+}
+
+// create registers a new queued job and returns a snapshot of it.
+func (js *jobStore) create(workload, arch string, now time.Time) Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%d", js.seq),
+		State:    JobQueued,
+		Workload: workload,
+		Arch:     arch,
+		Created:  now,
+	}
+	js.jobs[j.ID] = j
+	js.order = append(js.order, j.ID)
+	js.pruneLocked()
+	return *j
+}
+
+// pruneLocked drops the oldest finished jobs until the store fits the cap,
+// compacting order entries of removed jobs along the way.  Callers hold mu.
+func (js *jobStore) pruneLocked() {
+	if js.cap <= 0 || len(js.jobs) <= js.cap {
+		return
+	}
+	kept := js.order[:0]
+	for _, id := range js.order {
+		j, ok := js.jobs[id]
+		if !ok {
+			continue // removed out of band (e.g. a shed tune)
+		}
+		if len(js.jobs) > js.cap && (j.State == JobDone || j.State == JobFailed) {
+			delete(js.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.order = kept
+}
+
+// get returns a snapshot of the job by ID.
+func (js *jobStore) get(id string) (Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// remove deletes a job record outright.  It is used when a job was created
+// but could not be queued (the client got a 429 and never saw the ID), so
+// shed requests do not grow the store.
+func (js *jobStore) remove(id string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	delete(js.jobs, id)
+}
+
+// setRunning marks the job as executing.
+func (js *jobStore) setRunning(id string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j := js.jobs[id]; j != nil {
+		j.State = JobRunning
+	}
+}
+
+// finish records the job outcome: done with a result, or failed with an
+// error message.
+func (js *jobStore) finish(id string, res *TuneResult, err error, now time.Time) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j := js.jobs[id]
+	if j == nil {
+		return
+	}
+	j.Finished = now
+	if err != nil {
+		j.State = JobFailed
+		j.Error = err.Error()
+	} else {
+		j.State = JobDone
+		j.Result = res
+	}
+	js.pruneLocked()
+}
+
+// counts returns the number of jobs per state, for the /metrics endpoint.
+func (js *jobStore) counts() map[JobState]int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make(map[JobState]int, 4)
+	for _, j := range js.jobs {
+		out[j.State]++
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+)
+
+// ErrOverloaded is returned by the scheduler when the admission queue is
+// full; the HTTP layer translates it into 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// scheduler executes proxy-benchmark runs for the HTTP layer under an
+// admission policy: at most maxInFlight simulations execute concurrently, at
+// most queueDepth admitted requests wait for a slot, and everything beyond
+// that is shed with ErrOverloaded instead of oversubscribing the host.  The
+// simulations themselves fan out on the shared internal/parallel token pool
+// (inside core.Run), so the scheduler adds no goroutines of its own: every
+// execution runs on the goroutine of the request that admitted it.
+//
+// Identical requests coalesce through a singleflight result cache — a
+// tuner.Memo keyed with tuner.MemoKey, i.e. the same bit-exact
+// (benchmark, core.Setting.Canonical(), cluster/arch) key the auto-tuner
+// memoizes on — so a repeated /v1/run never spends an admission slot or a
+// simulation, and tune jobs sharing the memo reuse the very same entries.
+type scheduler struct {
+	maxInFlight int
+	queueDepth  int
+
+	// admitted counts requests holding or waiting for a slot; slots holds
+	// one token per executing simulation.
+	admitted atomic.Int64
+	slots    chan struct{}
+
+	// memo is the current result cache.  The server runs indefinitely and
+	// clients choose the settings (arbitrary float factors), so the cache
+	// cannot grow without bound: once it exceeds maxCacheEntries it is
+	// swapped for a fresh one.  In-flight measurements keep using the memo
+	// they started on — entries are self-contained, so a swap only costs
+	// future coalescing, never correctness.
+	memo            atomic.Pointer[tuner.Memo]
+	maxCacheEntries int
+	// protos maps the architecture short name to the prototype single-node
+	// cluster every execution clones (the paper runs each proxy benchmark on
+	// a single slave node).
+	protos map[string]*sim.Cluster
+
+	// runFn performs one simulation; tests replace it to control timing.
+	runFn func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error)
+
+	executed  atomic.Int64 // simulations actually performed
+	coalesced atomic.Int64 // requests served from the result cache / singleflight
+	shed      atomic.Int64 // requests rejected with ErrOverloaded
+}
+
+func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[string]*sim.Cluster) *scheduler {
+	sc := &scheduler{
+		maxInFlight:     maxInFlight,
+		queueDepth:      queueDepth,
+		slots:           make(chan struct{}, maxInFlight),
+		maxCacheEntries: maxCacheEntries,
+		protos:          protos,
+		runFn: func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error) {
+			rep, err := core.Run(cluster, b, s)
+			if err != nil {
+				return perf.Metrics{}, err
+			}
+			return rep.Metrics, nil
+		},
+	}
+	sc.memo.Store(tuner.NewMemo())
+	return sc
+}
+
+// currentMemo returns the live result cache; tune jobs share it so their
+// evaluations and /v1/run requests coalesce with each other.
+func (sc *scheduler) currentMemo() *tuner.Memo { return sc.memo.Load() }
+
+// maybeEvict swaps in a fresh memo when the cache the caller just used has
+// outgrown the cap.  The compare-and-swap makes concurrent callers evict at
+// most once per full cache.
+func (sc *scheduler) maybeEvict(used *tuner.Memo) {
+	if used.Size() > sc.maxCacheEntries {
+		sc.memo.CompareAndSwap(used, tuner.NewMemo())
+	}
+}
+
+// proto returns the prototype cluster for an architecture short name.
+func (sc *scheduler) proto(archName string) (*sim.Cluster, error) {
+	c := sc.protos[archName]
+	if c == nil {
+		return nil, fmt.Errorf("serve: unknown architecture %q", archName)
+	}
+	return c, nil
+}
+
+// run executes benchmark b under setting s on the named architecture,
+// returning the metric vector and whether the result was coalesced with a
+// previous or concurrent identical request.  Completed results are answered
+// straight from the cache with no admission; a cache miss must pass
+// admission before it may execute (or block on an in-flight twin).
+func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark, s core.Setting) (perf.Metrics, bool, error) {
+	proto, err := sc.proto(archName)
+	if err != nil {
+		return perf.Metrics{}, false, err
+	}
+	key := tuner.MemoKey(proto, b, s)
+	memo := sc.currentMemo()
+	if m, ok, err := memo.Peek(key); ok {
+		sc.coalesced.Add(1)
+		return m, true, err
+	}
+	if err := sc.acquire(ctx); err != nil {
+		return perf.Metrics{}, false, err
+	}
+	defer sc.release()
+	m, fresh, err := memo.Measure(key, func() (perf.Metrics, error) {
+		return sc.runFn(proto.Clone(), b, s)
+	})
+	if fresh {
+		sc.executed.Add(1)
+		sc.maybeEvict(memo)
+	} else {
+		sc.coalesced.Add(1)
+	}
+	return m, !fresh, err
+}
+
+// acquire admits the calling request: it joins the admission queue if there
+// is room (maxInFlight executing + queueDepth waiting) and then blocks until
+// an execution slot or cancellation.  It returns ErrOverloaded when the
+// queue is full.
+func (sc *scheduler) acquire(ctx context.Context) error {
+	if sc.admitted.Add(1) > int64(sc.maxInFlight+sc.queueDepth) {
+		sc.admitted.Add(-1)
+		sc.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case sc.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		sc.admitted.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (sc *scheduler) release() {
+	<-sc.slots
+	sc.admitted.Add(-1)
+}
+
+// inFlight returns the number of requests currently holding or waiting for
+// an execution slot.
+func (sc *scheduler) inFlight() int64 { return sc.admitted.Load() }

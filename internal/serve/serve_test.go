@@ -1,0 +1,624 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+)
+
+// newTestServer boots a Server and an httptest front end, both torn down
+// with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthzAndListings(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, _ := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	resp, body := getJSON(t, ts.URL+"/v1/workloads")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/workloads status %d", resp.StatusCode)
+	}
+	var infos []WorkloadInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(proxy.Workloads()) {
+		t.Fatalf("got %d workloads, want %d", len(infos), len(proxy.Workloads()))
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/archs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/archs status %d", resp.StatusCode)
+	}
+	var archs []ArchInfo
+	if err := json.Unmarshal(body, &archs); err != nil {
+		t.Fatal(err)
+	}
+	if len(archs) != len(arch.Profiles()) {
+		t.Fatalf("got %d archs, want %d", len(archs), len(arch.Profiles()))
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]RunRequest{
+		"unknown workload":  {Workload: "wordcount"},
+		"unknown arch":      {Workload: "terasort", Arch: "skylake"},
+		"unknown parameter": {Workload: "terasort", Setting: map[string]float64{"dataSizes": 2}},
+		"bad factor":        {Workload: "terasort", Setting: map[string]float64{"dataSize": -1}},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"workload": "terasort", "settings": nil})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// runMetricsJSON extracts the deterministic metric-vector encoding of a run
+// response body (the Coalesced flag legitimately differs between the
+// executing request and its coalesced twins, so bodies are compared on the
+// metric payload).
+func runMetricsJSON(t *testing.T, body []byte) string {
+	t.Helper()
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("decoding run response %s: %v", body, err)
+	}
+	data, err := json.Marshal(rr.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.RuntimeSeconds != rr.Metrics.Runtime {
+		t.Fatalf("runtime_seconds %g != metrics runtime %g", rr.RuntimeSeconds, rr.Metrics.Runtime)
+	}
+	return string(data)
+}
+
+// TestRunCoalescesAndIsDeterministic is the serving layer's core property
+// test: a burst of identical /v1/run requests executes exactly one
+// simulation, every response carries bit-identical metrics, and the metrics
+// are bit-identical at any host worker count.
+func TestRunCoalescesAndIsDeterministic(t *testing.T) {
+	req := RunRequest{Workload: "terasort", Arch: "westmere", Setting: map[string]float64{"dataSize": 1.5, "numTasks": 0.5}}
+	var perWorkerCount []string
+	for _, workers := range []int{1, 4} {
+		prev := parallel.SetWorkers(workers)
+		t.Cleanup(func() { parallel.SetWorkers(prev) })
+
+		s, ts := newTestServer(t, Config{})
+		const burst = 6
+		bodies := make([][]byte, burst)
+		statuses := make([]int, burst)
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, body := postJSON(t, ts.URL+"/v1/run", req)
+				statuses[i] = resp.StatusCode
+				bodies[i] = body
+			}(i)
+		}
+		wg.Wait()
+
+		metrics := ""
+		for i := 0; i < burst; i++ {
+			if statuses[i] != http.StatusOK {
+				t.Fatalf("workers=%d request %d: status %d body %s", workers, i, statuses[i], bodies[i])
+			}
+			m := runMetricsJSON(t, bodies[i])
+			if metrics == "" {
+				metrics = m
+			} else if m != metrics {
+				t.Fatalf("workers=%d request %d: metrics diverge:\n%s\nvs\n%s", workers, i, m, metrics)
+			}
+		}
+		if got := s.sched.executed.Load(); got != 1 {
+			t.Fatalf("workers=%d: %d simulations executed for %d identical requests, want 1", workers, got, burst)
+		}
+		if got := s.sched.coalesced.Load(); got != burst-1 {
+			t.Fatalf("workers=%d: %d coalesced, want %d", workers, got, burst-1)
+		}
+		perWorkerCount = append(perWorkerCount, metrics)
+	}
+	if perWorkerCount[0] != perWorkerCount[1] {
+		t.Fatalf("metrics differ across worker counts:\n%s\nvs\n%s", perWorkerCount[0], perWorkerCount[1])
+	}
+}
+
+// TestRunMatchesDirectExecution pins the serving path to the library path:
+// the metric vector served by /v1/run equals a direct core.Run of the same
+// benchmark and setting on a fresh single-node cluster.
+func TestRunMatchesDirectExecution(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	setting := core.Setting{"dataSize": 0.8}
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "kmeans", Setting: setting})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	served := runMetricsJSON(t, body)
+
+	b, err := proxy.ForWorkload("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	rep, err := core.Run(cluster, b, setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(rep.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != string(direct) {
+		t.Fatalf("served metrics diverge from direct execution:\n%s\nvs\n%s", served, direct)
+	}
+}
+
+// TestRunShedsOverloadWith429 drives the admission queue: with one slot and
+// no queue, a second distinct request must be shed with 429 while the first
+// still executes, and succeed once retried after the slot frees up.
+func TestRunShedsOverloadWith429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.sched.runFn = func(cluster *sim.Cluster, b *core.Benchmark, setting core.Setting) (perf.Metrics, error) {
+		started <- struct{}{}
+		<-release
+		return perf.Metrics{Runtime: setting.Get("dataSize")}, nil
+	}
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 1}})
+		first <- resp.StatusCode
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never started executing")
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded request: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response is missing Retry-After")
+	}
+
+	close(release)
+	if status := <-first; status != http.StatusOK {
+		t.Fatalf("first request: status %d, want 200", status)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after shed: status %d body %s", resp.StatusCode, body)
+	}
+	if got := s.sched.shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job leaves the queued/running
+// states.
+func pollJob(t *testing.T, baseURL, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, body := getJSON(t, baseURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job poll: status %d body %s", resp.StatusCode, body)
+		}
+		var job Job
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State == JobDone || job.State == JobFailed {
+			return job
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return Job{}
+}
+
+// TestTuneJobLifecycle submits an asynchronous qualification with an
+// explicit (reachable) target, polls it to completion, and then verifies
+// the advertised contract that the tuner's evaluations land in the same
+// result cache /v1/run answers from: the baseline setting must come back
+// coalesced.
+func TestTuneJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Self-target: measure the proxy itself once via the run endpoint.
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("target run: status %d body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	target := map[string]float64{"IPC": rr.Metrics.IPC, "MIPS": rr.Metrics.MIPS}
+
+	resp, body = postJSON(t, ts.URL+"/v1/tune", TuneRequest{
+		Workload:      "terasort",
+		MaxIterations: 1,
+		Metrics:       []string{"IPC", "MIPS"},
+		Parameters:    []string{"dataSize"},
+		ImpactFactors: []float64{1.25},
+		Target:        target,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tune: status %d body %s, want 202", resp.StatusCode, body)
+	}
+	var accepted TuneResponse
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.JobID == "" || accepted.State != JobQueued {
+		t.Fatalf("tune response %+v", accepted)
+	}
+
+	job := pollJob(t, ts.URL, accepted.JobID)
+	if job.State != JobDone {
+		t.Fatalf("job state %s (error %q), want done", job.State, job.Error)
+	}
+	if job.Result == nil || !job.Result.Converged {
+		t.Fatalf("self-targeted tune should converge; result %+v", job.Result)
+	}
+	if job.Result.AverageAccuracy < 0.95 {
+		t.Fatalf("self-target accuracy %.3f should be near 1", job.Result.AverageAccuracy)
+	}
+
+	// The tuner's baseline evaluation used the default setting on the same
+	// prototype configuration, so this run must be a cache hit.
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-tune run: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Coalesced {
+		t.Fatal("run after tune should coalesce with the tuner's cached baseline evaluation")
+	}
+}
+
+func TestTuneRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]TuneRequest{
+		"unknown workload":      {Workload: "wordcount"},
+		"unknown arch":          {Workload: "terasort", Arch: "skylake"},
+		"unknown target metric": {Workload: "terasort", Target: map[string]float64{"ipc": 1}},
+		"unknown tune metric":   {Workload: "terasort", Metrics: []string{"cycles"}, Target: map[string]float64{"IPC": 1}},
+		"unknown parameter":     {Workload: "terasort", Parameters: []string{"dataSizes"}, Target: map[string]float64{"IPC": 1}},
+		"bad threshold":         {Workload: "terasort", Threshold: 1.5, Target: map[string]float64{"IPC": 1}},
+		"bad impact factor":     {Workload: "terasort", ImpactFactors: []float64{-2}, Target: map[string]float64{"IPC": 1}},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/tune", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s, want a synchronous 400 (not an async failed job)", name, resp.StatusCode, body)
+		}
+	}
+	resp, _ := getJSON(t, ts.URL+"/v1/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobStorePrunesOldestFinished bounds the daemon's job history: beyond
+// the cap the oldest finished jobs disappear, while unfinished jobs are
+// never pruned.
+func TestJobStorePrunesOldestFinished(t *testing.T) {
+	js := newJobStore(2)
+	now := time.Unix(0, 0)
+	a := js.create("terasort", "westmere", now)
+	b := js.create("kmeans", "westmere", now)
+	c := js.create("pagerank", "westmere", now)
+	js.finish(a.ID, nil, nil, now)
+	if _, ok := js.get(a.ID); ok {
+		t.Fatal("oldest finished job should have been pruned at cap 2")
+	}
+	for _, id := range []string{b.ID, c.ID} {
+		if _, ok := js.get(id); !ok {
+			t.Fatalf("unfinished job %s must never be pruned", id)
+		}
+	}
+	js.finish(b.ID, nil, nil, now)
+	js.finish(c.ID, nil, nil, now)
+	d := js.create("alexnet", "westmere", now)
+	if _, ok := js.get(b.ID); ok {
+		t.Fatal("job b should have been pruned when d arrived")
+	}
+	for _, id := range []string{c.ID, d.ID} {
+		if _, ok := js.get(id); !ok {
+			t.Fatalf("job %s should survive within the cap", id)
+		}
+	}
+}
+
+// TestTuneImplicitTargetMeasuresRealWorkload exercises the full
+// qualification path: no explicit target, so the server measures the real
+// workload on the paper deployment first.  Skipped in -short because the
+// real workload runs at paper scale.
+func TestTuneImplicitTargetMeasuresRealWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-workload measurement is not a -short workload")
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/tune", TuneRequest{
+		Workload:      "terasort",
+		MaxIterations: 2,
+		Parameters:    []string{"dataSize", "numTasks"},
+		ImpactFactors: []float64{0.7, 1.4},
+		Metrics:       []string{"IPC", "MIPS", "L1D_hit", "branch_miss", "mem_bw"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tune: status %d body %s", resp.StatusCode, body)
+	}
+	var accepted TuneResponse
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	job := pollJob(t, ts.URL, accepted.JobID)
+	if job.State != JobDone {
+		t.Fatalf("job state %s (error %q), want done", job.State, job.Error)
+	}
+	if job.Result.Target.Runtime == 0 {
+		t.Fatal("implicit target should carry the real workload's measured metrics")
+	}
+}
+
+// TestTuneQueueShedsWith429 fills the job queue and expects the next tune
+// to be shed.  The dispatcher is parked by pre-claiming the baseline
+// setting's result-cache key with a blocked measurement: because the tuner
+// shares the server's memo (the load-bearing key contract), its baseline
+// evaluation coalesces with — and blocks on — that in-flight entry.
+func TestTuneQueueShedsWith429(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobQueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	blocked := make(chan struct{})
+	go func() {
+		proto, err := s.sched.proto("westmere")
+		if err != nil {
+			panic(err)
+		}
+		b, err := proxy.ForWorkload("terasort")
+		if err != nil {
+			panic(err)
+		}
+		key := tuner.MemoKey(proto, b, core.DefaultSetting())
+		_, _, _ = s.sched.currentMemo().Measure(key, func() (perf.Metrics, error) {
+			close(blocked)
+			<-release
+			return perf.Metrics{}, nil
+		})
+	}()
+	select {
+	case <-blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cache pre-claim never started")
+	}
+	tuneReq := TuneRequest{Workload: "terasort", MaxIterations: 1, Parameters: []string{"dataSize"}, ImpactFactors: []float64{1.25}, Metrics: []string{"IPC"}, Target: map[string]float64{"IPC": 1}}
+
+	// First job: dequeued by the dispatcher, which blocks on the pre-claimed
+	// baseline key.
+	resp, body := postJSON(t, ts.URL+"/v1/tune", tuneReq)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first tune: status %d body %s", resp.StatusCode, body)
+	}
+	var first TuneResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		job, ok := s.jobs.get(first.JobID)
+		if ok && job.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never started the first job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Second job fills the queue; third is shed.
+	resp, _ = postJSON(t, ts.URL+"/v1/tune", tuneReq)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second tune: status %d, want 202", resp.StatusCode)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/tune", tuneReq)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third tune: status %d body %s, want 429", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsEndpoint checks the exposition carries the request counters,
+// gauges and cache counters the issue names.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`proxyd_http_requests_total{route="POST /v1/run"} 1`,
+		"proxyd_run_executed_total 1",
+		"proxyd_run_coalesced_total 0",
+		"proxyd_run_shed_total 0",
+		"proxyd_result_cache_entries 1",
+		"proxyd_http_in_flight 1", // the /metrics request itself
+		"proxyd_sched_in_flight 0",
+		`proxyd_jobs{state="queued"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestResultCacheIsBounded drives distinct settings through a server with a
+// tiny cache cap and checks the cache is swapped out instead of growing
+// without bound (clients choose the settings, so the daemon must not let
+// them grow its heap forever).
+func TestResultCacheIsBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxCacheEntries: 2})
+	s.sched.runFn = func(cluster *sim.Cluster, b *core.Benchmark, setting core.Setting) (perf.Metrics, error) {
+		return perf.Metrics{Runtime: setting.Get("dataSize")}, nil
+	}
+	for i := 1; i <= 10; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": float64(i)}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	if size := s.sched.currentMemo().Size(); size > 3 {
+		t.Fatalf("result cache grew to %d entries despite cap 2", size)
+	}
+	if got := s.sched.executed.Load(); got != 10 {
+		t.Fatalf("%d distinct settings executed, want 10", got)
+	}
+}
+
+// TestShedTuneLeavesNoJobRecord checks a 429'd tune does not permanently
+// grow the job store (the client never sees the ID).
+func TestShedTuneLeavesNoJobRecord(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobQueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	blocked := make(chan struct{})
+	go func() {
+		proto, _ := s.sched.proto("westmere")
+		b, _ := proxy.ForWorkload("terasort")
+		_, _, _ = s.sched.currentMemo().Measure(tuner.MemoKey(proto, b, core.DefaultSetting()), func() (perf.Metrics, error) {
+			close(blocked)
+			<-release
+			return perf.Metrics{}, nil
+		})
+	}()
+	<-blocked
+	tuneReq := TuneRequest{Workload: "terasort", MaxIterations: 1, Parameters: []string{"dataSize"}, ImpactFactors: []float64{1.25}, Metrics: []string{"IPC"}, Target: map[string]float64{"IPC": 1}}
+	shed := 0
+	for i := 0; i < 5; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/tune", tuneReq)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("expected at least one shed tune with a 1-deep queue and a parked dispatcher")
+	}
+	counts := s.jobs.counts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if want := 5 - shed; total != want {
+		t.Fatalf("job store holds %d records (%v), want only the %d accepted jobs", total, counts, want)
+	}
+}
+
+// TestConfigDefaults pins the admission defaults the flags document.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxInFlight != parallel.Workers() {
+		t.Errorf("MaxInFlight default %d, want parallel.Workers()=%d", cfg.MaxInFlight, parallel.Workers())
+	}
+	if cfg.QueueDepth != 16 || cfg.JobQueueDepth != 16 {
+		t.Errorf("queue defaults %d/%d, want 16/16", cfg.QueueDepth, cfg.JobQueueDepth)
+	}
+	if cfg = (Config{QueueDepth: -1}).withDefaults(); cfg.QueueDepth != 0 {
+		t.Errorf("negative QueueDepth should select 0, got %d", cfg.QueueDepth)
+	}
+}
+
+// TestRealDeployment pins the implicit-target deployments to the paper's.
+func TestRealDeployment(t *testing.T) {
+	w, err := realDeployment("westmere")
+	if err != nil || w.Nodes != 5 {
+		t.Errorf("westmere deployment %+v err %v, want the five-node cluster", w, err)
+	}
+	h, err := realDeployment("haswell")
+	if err != nil || h.Nodes != 3 {
+		t.Errorf("haswell deployment %+v err %v, want the three-node cluster", h, err)
+	}
+	if _, err := realDeployment("skylake"); err == nil {
+		t.Error("unknown architecture should have no real deployment")
+	}
+}

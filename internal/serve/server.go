@@ -1,0 +1,614 @@
+// Package serve implements the proxyd HTTP serving layer: a long-running
+// service that exposes the proxy-benchmark library as an API.  POST /v1/run
+// executes a proxy benchmark under a tuning setting on a chosen architecture
+// profile and returns its virtual runtime and metric vector; POST /v1/tune
+// kicks off asynchronous proxy qualification polled via GET /v1/jobs/{id};
+// GET /v1/workloads and GET /v1/archs enumerate the library; GET /healthz
+// and GET /metrics expose liveness and request/cache/queue counters.
+//
+// The layer reuses the repository's load-bearing contracts rather than
+// inventing new ones: all compute fans out on the internal/parallel token
+// pool (the scheduler itself adds no goroutines beyond one long-lived job
+// dispatcher), identical /v1/run requests coalesce through a singleflight
+// tuner.Memo keyed bit-exactly like the auto-tuner's measurement memo, each
+// execution runs on its own sim.Cluster.Clone(), and a bounded admission
+// queue sheds overload with 429s instead of oversubscribing the host.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+	"dataproxy/internal/workloads"
+)
+
+// Config tunes the server's admission policy and queue sizes.  The zero
+// value selects sensible defaults for every field.
+type Config struct {
+	// MaxInFlight bounds how many proxy simulations execute concurrently.
+	// Zero selects parallel.Workers(): one admitted simulation per host
+	// worker, leaving the intra-simulation fan-out to the token pool.
+	MaxInFlight int
+	// QueueDepth is how many admitted /v1/run requests may wait for an
+	// execution slot; requests beyond MaxInFlight+QueueDepth are shed with
+	// 429.  Zero selects 16; negative selects 0 (shed as soon as all slots
+	// are busy).
+	QueueDepth int
+	// JobQueueDepth bounds the queued (not yet running) asynchronous tuning
+	// jobs; POST /v1/tune beyond it is shed with 429.  Zero selects 16.
+	JobQueueDepth int
+	// MaxCacheEntries bounds the result cache of a long-running server:
+	// clients choose the settings, so distinct keys accumulate until the
+	// cache exceeds this many entries and is swapped for a fresh one.  Zero
+	// selects 4096.
+	MaxCacheEntries int
+	// MaxJobHistory bounds the retained job records: beyond it the oldest
+	// finished jobs are pruned (queued/running jobs never are).  Zero
+	// selects 1024.
+	MaxJobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = parallel.Workers()
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 16
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 16
+	}
+	if c.MaxCacheEntries <= 0 {
+		c.MaxCacheEntries = 4096
+	}
+	if c.MaxJobHistory <= 0 {
+		c.MaxJobHistory = 1024
+	}
+	return c
+}
+
+// Server is the proxyd HTTP service.  Create it with New, serve its
+// Handler, and Close it to stop the job dispatcher.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sched *scheduler
+	jobs  *jobStore
+
+	// realMemo singleflights real-workload measurements (the implicit tuning
+	// targets), keyed by workload + deployment, so repeated tune jobs do not
+	// re-simulate the paper-scale workload.
+	realMemo *tuner.Memo
+
+	tuneQueue chan tuneJob
+	stop      chan struct{}
+	closeOnce sync.Once
+	done      sync.WaitGroup
+
+	httpInFlight atomic.Int64
+	reqMu        sync.Mutex
+	reqCounts    map[string]int64
+
+	now func() time.Time
+}
+
+type tuneJob struct {
+	id  string
+	req TuneRequest
+}
+
+// New builds a Server: one prototype single-node cluster per stock
+// architecture profile, a scheduler with the configured admission policy,
+// and the asynchronous tune-job dispatcher (one long-lived goroutine; the
+// tuning pipeline itself fans out on the shared token pool).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	protos := make(map[string]*sim.Cluster)
+	for name, profile := range arch.Profiles() {
+		cluster, err := sim.NewCluster(sim.SingleNode(profile, 0))
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %s prototype cluster: %w", name, err)
+		}
+		protos[name] = cluster
+	}
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sched:     newScheduler(cfg.MaxInFlight, cfg.QueueDepth, cfg.MaxCacheEntries, protos),
+		jobs:      newJobStore(cfg.MaxJobHistory),
+		realMemo:  tuner.NewMemo(),
+		tuneQueue: make(chan tuneJob, cfg.JobQueueDepth),
+		stop:      make(chan struct{}),
+		reqCounts: make(map[string]int64),
+		now:       time.Now,
+	}
+	s.routes()
+	s.done.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Close stops the job dispatcher and waits for an in-flight job to finish.
+// Queued jobs that never ran stay in state "queued".
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.done.Wait()
+}
+
+// Handler returns the HTTP handler serving the proxyd API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the server's configuration with defaults resolved.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/workloads", s.handleWorkloads)
+	s.handle("GET /v1/archs", s.handleArchs)
+	s.handle("POST /v1/run", s.handleRun)
+	s.handle("POST /v1/tune", s.handleTune)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+}
+
+// handle registers a route with request counting and the in-flight gauge.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.httpInFlight.Add(1)
+		defer s.httpInFlight.Add(-1)
+		s.reqMu.Lock()
+		s.reqCounts[pattern]++
+		s.reqMu.Unlock()
+		h(w, r)
+	})
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	// Workload selects the proxy benchmark by real-workload short name
+	// (one of proxy.Workloads()).
+	Workload string `json:"workload"`
+	// Arch selects the architecture profile short name ("westmere",
+	// "haswell"); empty selects "westmere".
+	Arch string `json:"arch,omitempty"`
+	// Setting holds multiplicative factors over the proxy's base parameters,
+	// keyed by core.ParameterNames (e.g. {"dataSize": 1.5}); omitted
+	// parameters default to 1.
+	Setting map[string]float64 `json:"setting,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	// Workload and Benchmark identify the executed proxy; Arch the profile.
+	Workload  string `json:"workload"`
+	Benchmark string `json:"benchmark"`
+	Arch      string `json:"arch"`
+	// RuntimeSeconds is the proxy's virtual execution time.
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	// Coalesced reports whether the result was served from the result cache
+	// (or an in-flight identical request) instead of a fresh simulation.
+	Coalesced bool `json:"coalesced"`
+	// Metrics is the full metric vector (perf.MetricNames keys).
+	Metrics perf.Metrics `json:"metrics"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := proxy.ForWorkload(req.Workload)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	archName, setting, err := normalizeRun(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	metrics, coalesced, err := s.sched.run(r.Context(), archName, b, setting)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Workload:       req.Workload,
+		Benchmark:      b.Name,
+		Arch:           archName,
+		RuntimeSeconds: metrics.Runtime,
+		Coalesced:      coalesced,
+		Metrics:        metrics,
+	})
+}
+
+// normalizeRun validates the architecture and setting of a run request.
+func normalizeRun(req RunRequest) (string, core.Setting, error) {
+	archName := req.Arch
+	if archName == "" {
+		archName = "westmere"
+	}
+	if _, ok := arch.Profiles()[archName]; !ok {
+		return "", nil, fmt.Errorf("serve: unknown architecture %q", archName)
+	}
+	setting := core.Setting(req.Setting)
+	if setting == nil {
+		setting = core.DefaultSetting()
+	}
+	if err := setting.Validate(); err != nil {
+		return "", nil, err
+	}
+	return archName, setting, nil
+}
+
+// TuneRequest is the body of POST /v1/tune: qualify the workload's proxy on
+// one architecture, asynchronously.
+type TuneRequest struct {
+	// Workload and Arch select the proxy and profile like RunRequest.
+	Workload string `json:"workload"`
+	Arch     string `json:"arch,omitempty"`
+	// Threshold, MaxIterations, Metrics, Parameters and ImpactFactors map
+	// onto tuner.Options; zero values select the tuner defaults.
+	Threshold     float64   `json:"threshold,omitempty"`
+	MaxIterations int       `json:"max_iterations,omitempty"`
+	Metrics       []string  `json:"metrics,omitempty"`
+	Parameters    []string  `json:"parameters,omitempty"`
+	ImpactFactors []float64 `json:"impact_factors,omitempty"`
+	// Target optionally supplies the real workload's metric vector to match
+	// (perf.MetricNames keys).  When omitted the server measures the real
+	// workload on the paper's deployment of the chosen architecture (once;
+	// repeated tunes reuse the measurement).
+	Target map[string]float64 `json:"target,omitempty"`
+}
+
+// TuneResult is the outcome of a done tuning job.
+type TuneResult struct {
+	// Setting is the qualified parameter setting (factors over the base).
+	Setting map[string]float64 `json:"setting"`
+	// Converged reports whether every metric deviation met the threshold.
+	Converged bool `json:"converged"`
+	// Iterations, Evaluations and MemoHits summarise the tuning effort.
+	Iterations  int `json:"iterations"`
+	Evaluations int `json:"evaluations"`
+	MemoHits    int `json:"memo_hits"`
+	// AverageAccuracy and WorstAccuracy/WorstMetric summarise the report.
+	AverageAccuracy float64 `json:"average_accuracy"`
+	WorstAccuracy   float64 `json:"worst_accuracy"`
+	WorstMetric     string  `json:"worst_metric"`
+	// PerMetric is the per-metric accuracy of the final setting.
+	PerMetric map[string]float64 `json:"per_metric_accuracy"`
+	// Target and ProxyMetrics are the matched and achieved metric vectors.
+	Target       perf.Metrics `json:"target"`
+	ProxyMetrics perf.Metrics `json:"proxy_metrics"`
+}
+
+// TuneResponse is the body of a successful POST /v1/tune (202 Accepted).
+type TuneResponse struct {
+	// JobID polls as GET /v1/jobs/{id}.
+	JobID string `json:"job_id"`
+	// State is the job's initial state ("queued").
+	State JobState `json:"state"`
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := proxy.ForWorkload(req.Workload); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Arch == "" {
+		req.Arch = "westmere"
+	}
+	if err := validateTune(req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := s.jobs.create(req.Workload, req.Arch, s.now())
+	select {
+	case s.tuneQueue <- tuneJob{id: job.ID, req: req}:
+		writeJSON(w, http.StatusAccepted, TuneResponse{JobID: job.ID, State: job.State})
+	default:
+		// The client is shed with 429 and never sees the ID, so drop the
+		// record instead of keeping a permanently failed job per rejection.
+		s.jobs.remove(job.ID)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, errors.New("serve: tune queue full"))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// validateTune rejects request errors synchronously — with a 400 at submit
+// time — instead of surfacing them as an asynchronously failed job: unknown
+// architecture/deployment, unknown metric or parameter names (a metric typo
+// would otherwise go undetected until deep inside the tuner) and
+// non-positive option values.
+func validateTune(req TuneRequest) error {
+	if _, ok := arch.Profiles()[req.Arch]; !ok {
+		return fmt.Errorf("serve: unknown architecture %q", req.Arch)
+	}
+	if req.Target == nil {
+		if _, err := realDeployment(req.Arch); err != nil {
+			return err
+		}
+	}
+	var m perf.Metrics
+	for name := range req.Target {
+		if err := m.Set(name, 0); err != nil {
+			return fmt.Errorf("serve: invalid tune target: %w", err)
+		}
+	}
+	for _, name := range req.Metrics {
+		if err := m.Set(name, 0); err != nil {
+			return fmt.Errorf("serve: invalid tune metric: %w", err)
+		}
+	}
+	setting := core.Setting{}
+	for _, p := range req.Parameters {
+		setting[p] = 1
+	}
+	if err := setting.Validate(); err != nil {
+		return fmt.Errorf("serve: invalid tune parameter: %w", err)
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		return fmt.Errorf("serve: threshold %g outside [0, 1]", req.Threshold)
+	}
+	for _, f := range req.ImpactFactors {
+		if f <= 0 {
+			return fmt.Errorf("serve: non-positive impact factor %g", f)
+		}
+	}
+	return nil
+}
+
+// dispatch is the single long-lived job worker: tuning jobs run one at a
+// time in submission order, and each job's pipeline fans out on the shared
+// token pool (impact analysis, tree fits, feedback evaluations).
+func (s *Server) dispatch() {
+	defer s.done.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case tj := <-s.tuneQueue:
+			s.jobs.setRunning(tj.id)
+			res, err := s.safeExecuteTune(tj.req)
+			s.jobs.finish(tj.id, res, err, s.now())
+		}
+	}
+}
+
+// safeExecuteTune converts a panicking tune into a failed job: the
+// dispatcher goroutine must outlive any single job, because an unrecovered
+// panic there would take the whole daemon down.
+func (s *Server) safeExecuteTune(req TuneRequest) (res *TuneResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: tune panicked: %v", r)
+		}
+	}()
+	return s.executeTune(req)
+}
+
+// executeTune resolves the tuning target and runs the auto-tuner, sharing
+// the scheduler's result memo so every proxy evaluation the tuner performs
+// lands in the same cache /v1/run answers from (and vice versa).
+func (s *Server) executeTune(req TuneRequest) (*TuneResult, error) {
+	b, err := proxy.ForWorkload(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	profile := arch.Profiles()[req.Arch]
+	target, err := s.resolveTarget(req)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := sim.NewCluster(sim.SingleNode(profile, 0))
+	if err != nil {
+		return nil, err
+	}
+	opts := tuner.Options{
+		Threshold:     req.Threshold,
+		MaxIterations: req.MaxIterations,
+		Metrics:       req.Metrics,
+		Parameters:    req.Parameters,
+		ImpactFactors: req.ImpactFactors,
+	}
+	memo := s.sched.currentMemo()
+	res, err := tuner.TuneWithMemo(cluster, b, target, opts, memo)
+	s.sched.maybeEvict(memo)
+	if err != nil {
+		return nil, err
+	}
+	worstMetric, worstAcc := res.Report.Worst()
+	return &TuneResult{
+		Setting:         res.Setting,
+		Converged:       res.Converged,
+		Iterations:      res.Iterations,
+		Evaluations:     res.Evaluations,
+		MemoHits:        res.MemoHits,
+		AverageAccuracy: res.Report.Average(),
+		WorstAccuracy:   worstAcc,
+		WorstMetric:     worstMetric,
+		PerMetric:       res.Report.PerMetric,
+		Target:          target,
+		ProxyMetrics:    res.ProxyMetrics,
+	}, nil
+}
+
+// resolveTarget returns the metric vector the tune must match: the explicit
+// request target if given, otherwise the real workload measured on the
+// paper's deployment of the requested architecture (singleflighted in
+// realMemo so the paper-scale simulation runs at most once per pair).
+func (s *Server) resolveTarget(req TuneRequest) (perf.Metrics, error) {
+	if req.Target != nil {
+		var m perf.Metrics
+		for name, v := range req.Target {
+			if err := m.Set(name, v); err != nil {
+				return perf.Metrics{}, err
+			}
+		}
+		return m, nil
+	}
+	cfg, err := realDeployment(req.Arch)
+	if err != nil {
+		return perf.Metrics{}, err
+	}
+	key := fmt.Sprintf("real|%s|%+v", req.Workload, cfg)
+	m, _, err := s.realMemo.Measure(key, func() (perf.Metrics, error) {
+		spec, err := workloads.ByShortName(req.Workload)
+		if err != nil {
+			return perf.Metrics{}, err
+		}
+		cluster, err := sim.NewCluster(cfg)
+		if err != nil {
+			return perf.Metrics{}, err
+		}
+		if err := spec.Run(cluster); err != nil {
+			return perf.Metrics{}, err
+		}
+		return cluster.Report(spec.Name).Metrics, nil
+	})
+	return m, err
+}
+
+// realDeployment maps an architecture short name to the paper's real
+// deployment of that generation, on which implicit tuning targets are
+// measured (Section III-B / IV-C).
+func realDeployment(archName string) (sim.ClusterConfig, error) {
+	switch archName {
+	case "westmere":
+		return sim.FiveNodeWestmere(), nil
+	case "haswell":
+		return sim.ThreeNodeHaswell64GB(), nil
+	}
+	return sim.ClusterConfig{}, fmt.Errorf("serve: no real deployment for architecture %q", archName)
+}
+
+// WorkloadInfo describes one servable proxy benchmark (GET /v1/workloads).
+type WorkloadInfo struct {
+	// Workload is the short name accepted by /v1/run and /v1/tune.
+	Workload string `json:"workload"`
+	// Benchmark is the proxy benchmark's display name.
+	Benchmark string `json:"benchmark"`
+	// Motifs lists the distinct data-motif implementations of the DAG.
+	Motifs []string `json:"motifs"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	all := proxy.All()
+	out := make([]WorkloadInfo, len(all))
+	for i, b := range all {
+		out[i] = WorkloadInfo{Workload: b.Workload, Benchmark: b.Name, Motifs: b.Motifs()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ArchInfo describes one servable architecture profile (GET /v1/archs).
+type ArchInfo struct {
+	// Arch is the short name accepted by /v1/run and /v1/tune.
+	Arch string `json:"arch"`
+	// Profile is the processor profile's display name.
+	Profile string `json:"profile"`
+}
+
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	profiles := arch.Profiles()
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ArchInfo, len(names))
+	for i, name := range names {
+		out[i] = ArchInfo{Arch: name, Profile: profiles[name].Name}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus-style exposition: request counts per
+// route, the HTTP and scheduler in-flight gauges, run cache/shed counters
+// and job states.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reqMu.Lock()
+	routes := make([]string, 0, len(s.reqCounts))
+	for route := range s.reqCounts {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		fmt.Fprintf(w, "proxyd_http_requests_total{route=%q} %d\n", route, s.reqCounts[route])
+	}
+	s.reqMu.Unlock()
+	fmt.Fprintf(w, "proxyd_http_in_flight %d\n", s.httpInFlight.Load())
+	fmt.Fprintf(w, "proxyd_run_executed_total %d\n", s.sched.executed.Load())
+	fmt.Fprintf(w, "proxyd_run_coalesced_total %d\n", s.sched.coalesced.Load())
+	fmt.Fprintf(w, "proxyd_run_shed_total %d\n", s.sched.shed.Load())
+	fmt.Fprintf(w, "proxyd_sched_in_flight %d\n", s.sched.inFlight())
+	fmt.Fprintf(w, "proxyd_result_cache_entries %d\n", s.sched.currentMemo().Size())
+	counts := s.jobs.counts()
+	for _, state := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
+		fmt.Fprintf(w, "proxyd_jobs{state=%q} %d\n", state, counts[state])
+	}
+}
+
+// decodeJSON decodes the request body strictly: unknown fields are errors so
+// typos in requests fail loudly instead of silently selecting defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -3,6 +3,7 @@ package tuner
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dataproxy/internal/core"
 	"dataproxy/internal/perf"
@@ -23,7 +24,11 @@ type Memo struct {
 }
 
 type memoEntry struct {
-	once    sync.Once
+	once sync.Once
+	// done flips to true after once has populated metrics/err; Peek reads it
+	// with acquire semantics so a true observation guarantees the fields are
+	// visible without taking any lock or blocking on the once.
+	done    atomic.Bool
 	metrics perf.Metrics
 	err     error
 }
@@ -62,9 +67,35 @@ func (m *Memo) Measure(key string, run func() (perf.Metrics, error)) (metrics pe
 	m.mu.Unlock()
 	e.once.Do(func() {
 		fresh = true
+		// A panic in run still consumes the once (sync.Once semantics), so
+		// record it as the entry's cached error before re-raising: later
+		// callers then replay a real error instead of silently reading a
+		// zero Metrics with a nil error from a half-initialised entry.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("tuner: measurement of %q panicked: %v", key, r)
+				e.done.Store(true)
+				panic(r)
+			}
+			e.done.Store(true)
+		}()
 		e.metrics, e.err = run()
 	})
 	return e.metrics, fresh, e.err
+}
+
+// Peek returns the completed measurement for key without blocking: ok is
+// false when the key has never been measured or its first measurement is
+// still in flight.  The serving layer uses it to answer repeated requests
+// from the cache before spending an admission slot on them.
+func (m *Memo) Peek(key string) (metrics perf.Metrics, ok bool, err error) {
+	m.mu.Lock()
+	e := m.entries[key]
+	m.mu.Unlock()
+	if e == nil || !e.done.Load() {
+		return perf.Metrics{}, false, nil
+	}
+	return e.metrics, true, e.err
 }
 
 // Size returns the number of distinct settings measured (or in flight).

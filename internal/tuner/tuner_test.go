@@ -1,10 +1,12 @@
 package tuner
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
@@ -241,6 +243,70 @@ func TestMemoSingleflight(t *testing.T) {
 	}
 	if _, f, _ := memo.Measure("same-key", run); f || runs.Load() != 1 {
 		t.Fatal("a later lookup of a measured key must not simulate again")
+	}
+}
+
+// TestMemoPeek checks the non-blocking read path the serving layer answers
+// cached requests from: a Peek never executes anything, misses on unknown
+// and in-flight keys, and hits completed keys (errors included).
+func TestMemoPeek(t *testing.T) {
+	memo := NewMemo()
+	if _, ok, _ := memo.Peek("absent"); ok {
+		t.Fatal("Peek of an unknown key must miss")
+	}
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = memo.Measure("slow", func() (perf.Metrics, error) {
+			close(inFlight)
+			<-release
+			return perf.Metrics{IPC: 2}, nil
+		})
+	}()
+	<-inFlight
+	if _, ok, _ := memo.Peek("slow"); ok {
+		t.Fatal("Peek of an in-flight key must miss, not block or return partial data")
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m, ok, err := memo.Peek("slow"); ok {
+			if err != nil || m.IPC != 2 {
+				t.Fatalf("Peek returned %v, %v", m, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Peek never observed the completed measurement")
+		}
+	}
+
+	wantErr := fmt.Errorf("setting rejected")
+	_, _, _ = memo.Measure("failing", func() (perf.Metrics, error) { return perf.Metrics{}, wantErr })
+	if _, ok, err := memo.Peek("failing"); !ok || err == nil {
+		t.Fatal("Peek must replay cached errors so failing settings are not retried")
+	}
+}
+
+// TestMemoMeasurePanicCachesError checks a panicking measurement cannot
+// poison its entry: sync.Once consumes the panicked call, so the entry must
+// replay an error afterwards instead of a zero Metrics with a nil error.
+func TestMemoMeasurePanicCachesError(t *testing.T) {
+	memo := NewMemo()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Measure must re-raise the measurement panic to its first caller")
+			}
+		}()
+		_, _, _ = memo.Measure("boom", func() (perf.Metrics, error) { panic("kaboom") })
+	}()
+	if _, fresh, err := memo.Measure("boom", func() (perf.Metrics, error) { return perf.Metrics{IPC: 1}, nil }); fresh || err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("later Measure got fresh=%v err=%v, want the cached panic error", fresh, err)
+	}
+	if _, ok, err := memo.Peek("boom"); !ok || err == nil {
+		t.Fatalf("Peek got ok=%v err=%v, want the cached panic error", ok, err)
 	}
 }
 

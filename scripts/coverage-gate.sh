@@ -1,0 +1,53 @@
+#!/bin/sh
+# coverage-gate.sh aggregates a Go coverage profile per package, prints the
+# coverage table, and fails when total statement coverage drops below the
+# floor.  The floor is set ~2% under the measured total at the time it was
+# last raised, so coverage can wobble with refactors but cannot silently rot.
+#
+#   go test -short -covermode=atomic -coverprofile=coverage.out ./...
+#   sh scripts/coverage-gate.sh coverage.out
+#
+# COVERAGE_FLOOR overrides the floor (a percentage, e.g. 75.0).
+set -eu
+cd "$(dirname "$0")/.."
+
+profile="${1:-coverage.out}"
+floor="${COVERAGE_FLOOR:-80.8}"
+
+if [ ! -f "$profile" ]; then
+  echo "coverage-gate: profile $profile not found (run: go test -short -covermode=atomic -coverprofile=$profile ./...)" >&2
+  exit 1
+fi
+
+# Aggregate statements/covered statements per package (portable awk, no
+# gawk extensions), sort by package name, then gate on the total.
+awk '
+  NR == 1 && /^mode:/ { next }
+  {
+    # file.go:12.3,45.6 numstmt count
+    split($1, loc, ":")
+    pkg = loc[1]
+    sub(/\/[^\/]*$/, "", pkg)
+    stmts[pkg] += $2
+    if ($3 > 0) covered[pkg] += $2
+  }
+  END {
+    for (p in stmts) printf "%s %d %d\n", p, stmts[p], covered[p] + 0
+  }
+' "$profile" | sort | awk -v floor="$floor" '
+  BEGIN { printf "%-40s %10s %10s %8s\n", "package", "stmts", "covered", "cover" }
+  {
+    printf "%-40s %10d %10d %7.1f%%\n", $1, $2, $3, ($2 > 0 ? 100 * $3 / $2 : 0)
+    total += $2
+    totalcov += $3
+  }
+  END {
+    pct = total > 0 ? 100 * totalcov / total : 0
+    printf "%-40s %10d %10d %7.1f%%\n", "total", total, totalcov, pct
+    if (pct < floor) {
+      printf "coverage-gate: total coverage %.1f%% is below the floor %.1f%%\n", pct, floor
+      exit 1
+    }
+    printf "coverage-gate: total coverage %.1f%% meets the floor %.1f%%\n", pct, floor
+  }
+'
