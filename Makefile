@@ -19,15 +19,24 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 
 ## bench-json: track the hot paths — the cache-engine CacheAccess/ExecLoad
-## microbenchmarks plus the sequential-vs-parallel auto-tuning pipeline
-## (BenchmarkTune) — and write the results to BENCH_cache.json.  Each
-## benchmark runs -count=5 times; benchjson keeps the minimum ns/op (and the
-## maximum allocs/op) so one noisy host run cannot skew the baseline.
+## microbenchmarks, the sequential-vs-parallel auto-tuning pipeline
+## (BenchmarkTune), and the two end-to-end steady-state benchmarks
+## (BenchmarkProxyStep: a full AlexNet proxy step on a pooled session;
+## BenchmarkServeRun: the in-process scheduler round-trip of a repeated
+## /v1/run) — and write the results to BENCH_cache.json.  Each benchmark
+## runs -count=5 times; benchjson keeps the minimum ns/op (and the maximum
+## allocs/op) so one noisy host run cannot skew the baseline.  ProxyStep
+## (sequential) and ServeRun must report 0 allocs/op: the compare gate
+## fails on any new allocation on a zero-alloc benchmark.
 bench-json:
 	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json \
 		./internal/arch ./internal/sim > BENCH_cache.tmp
 	$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json \
 		./internal/tuner >> BENCH_cache.tmp
+	$(GO) test -run='^$$' -bench='ServeRun' -benchmem -benchtime=100000x -count=5 -json \
+		./internal/serve >> BENCH_cache.tmp
+	$(GO) test -run='^$$' -bench='ProxyStep' -benchmem -benchtime=20x -count=5 -json \
+		. >> BENCH_cache.tmp
 	$(GO) run ./cmd/benchjson < BENCH_cache.tmp > BENCH_cache.json
 	rm -f BENCH_cache.tmp
 
@@ -41,11 +50,15 @@ bench-check:
 	@if [ "$(BENCH_GATE)" = "off" ]; then \
 		echo "bench-check: BENCH_GATE=off -- smoke run only (no baseline comparison)"; \
 		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchtime=1x ./internal/arch ./internal/sim && \
-		$(GO) test -run='^$$' -bench='Tune' -benchtime=1x ./internal/tuner; \
+		$(GO) test -run='^$$' -bench='Tune' -benchtime=1x ./internal/tuner && \
+		$(GO) test -run='^$$' -bench='ServeRun' -benchtime=1x ./internal/serve && \
+		$(GO) test -run='^$$' -bench='ProxyStep' -benchtime=1x .; \
 	else \
 		rm -f BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json ./internal/arch ./internal/sim > BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json ./internal/tuner >> BENCH_fresh.tmp && \
+		$(GO) test -run='^$$' -bench='ServeRun' -benchmem -benchtime=100000x -count=5 -json ./internal/serve >> BENCH_fresh.tmp && \
+		$(GO) test -run='^$$' -bench='ProxyStep' -benchmem -benchtime=20x -count=5 -json . >> BENCH_fresh.tmp && \
 		$(GO) run ./cmd/benchjson -compare BENCH_cache.json -tolerance 0.25 < BENCH_fresh.tmp; \
 		status=$$?; rm -f BENCH_fresh.tmp; exit $$status; \
 	fi

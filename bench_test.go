@@ -9,7 +9,13 @@ package dataproxy_bench
 import (
 	"testing"
 
+	"dataproxy/internal/aimotif"
+	"dataproxy/internal/arch"
+	"dataproxy/internal/datagen"
 	"dataproxy/internal/experiments"
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/workloads"
 )
 
 // suite is shared across benchmarks so the expensive real-workload runs are
@@ -190,4 +196,53 @@ func BenchmarkFigure10CrossArch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(maxDiff, "max-speedup-trend-gap")
+}
+
+// benchmarkProxyStep measures the steady state of one full AlexNet proxy
+// training step — the forward pass every tuner evaluation and AI workload
+// measurement repeats thousands of times — on a pooled measurement session:
+// a ClusterPool-recycled cluster, an arena-backed aimotif session, and the
+// tiled conv/dense kernels.  All b.N steps run inside one simulated task so
+// the per-op figures are the per-step marginal cost; after the first
+// (warm-up) step every activation comes from the arena and the dispatch
+// scratch is reused, so steady-state allocations are zero — enforced by the
+// bench gate against the committed baseline.
+func benchmarkProxyStep(b *testing.B, workers int) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	proto := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	pool := sim.NewClusterPool(proto)
+	net := workloads.AlexNetNetwork()
+	imgs, err := datagen.GenerateImages(datagen.ImageConfig{Seed: 1, Count: 2, Channels: 3, Height: 32, Width: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := aimotif.ImagesToTensor(imgs, 3, 32, 32)
+	cluster := pool.Get()
+	defer pool.Put(cluster)
+	cluster.RunOnNode("steps", 0, 1, func(ex *sim.Exec) {
+		sess := aimotif.NewSession()
+		step := func() {
+			out, err := net.Forward(ex, sess, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess.Release(out)
+		}
+		step() // warm the arena and the region cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+	})
+}
+
+// BenchmarkProxyStep tracks the AlexNet proxy step on the single-worker
+// engine (the deterministic configuration the bench gate compares across
+// hosts) and on the full worker pool.
+func BenchmarkProxyStep(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchmarkProxyStep(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkProxyStep(b, 0) })
 }

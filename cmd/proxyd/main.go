@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N]
+//	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N] [-pprof addr]
 //
 // Endpoints:
 //
@@ -25,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -42,8 +43,27 @@ func main() {
 	jobQueue := flag.Int("jobqueue", 0, "queued tune jobs before shedding (0 = default 16)")
 	cache := flag.Int("cache", 0, "result-cache entries before the cache is swapped out (0 = default 4096)")
 	par := flag.Int("parallel", 0, "host worker count of the shared execution engine (0 = all CPUs, 1 = sequential)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 	parallel.SetWorkers(*par)
+
+	// Opt-in profiling endpoint on its own listener, so production hot paths
+	// can be profiled without exposing pprof on the serving address.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:     *inflight,

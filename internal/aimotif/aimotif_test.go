@@ -349,25 +349,66 @@ func TestReductions(t *testing.T) {
 	})
 }
 
-func TestRegionsCache(t *testing.T) {
+func TestSessionRegionCache(t *testing.T) {
 	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
 	c.RunOnNode("regions", 0, 1, func(ex *sim.Exec) {
-		regs := NewRegions()
+		sess := NewSession()
 		x := tensor.New(8)
-		a := regs.Of(ex, x)
-		b := regs.Of(ex, x)
+		a := sess.Of(ex, x)
+		b := sess.Of(ex, x)
 		if a != b {
-			t.Error("Regions should cache per tensor")
+			t.Error("a session should cache the region per tensor")
 		}
 		y := tensor.New(8)
-		if regs.Of(ex, y) == a {
+		if sess.Of(ex, y) == a {
 			t.Error("distinct tensors should get distinct regions")
 		}
-		var nilRegs *Regions
-		r1 := nilRegs.Of(ex, x)
-		r2 := nilRegs.Of(ex, x)
+		var nilSess *Session
+		r1 := nilSess.Of(ex, x)
+		r2 := nilSess.Of(ex, x)
 		if r1 == r2 {
-			t.Error("nil Regions should allocate fresh regions")
+			t.Error("a nil session should allocate fresh regions")
+		}
+	})
+}
+
+func TestSessionReleaseBoundsRegionCache(t *testing.T) {
+	// A long-lived session must not accumulate one region entry per tensor
+	// ever seen: releasing a tensor drops its entry, and an arena-recycled
+	// backing store carries a fresh ID, so it gets a fresh region exactly
+	// like a fresh allocation would.
+	c := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	c.RunOnNode("release", 0, 1, func(ex *sim.Exec) {
+		sess := NewSession()
+		weights := tensor.New(16) // off-arena, lives the whole session
+		wReg := sess.Of(ex, weights)
+		var steady int
+		var lastReg sim.Region
+		for step := 0; step < 50; step++ {
+			tmp := sess.NewTensor(64)
+			reg := sess.Of(ex, tmp)
+			if step > 0 && reg == lastReg {
+				t.Fatal("a recycled tensor must get a fresh region, like a fresh allocation would")
+			}
+			lastReg = reg
+			sess.Release(tmp)
+			if step == 9 {
+				steady = sess.CachedRegions()
+			}
+		}
+		if got := sess.CachedRegions(); got != steady {
+			t.Errorf("region cache grew from %d to %d entries across steps; must stay bounded", steady, got)
+		}
+		if sess.Of(ex, weights) != wReg {
+			t.Error("weights must keep their region across steps")
+		}
+		// Releasing an off-arena tensor drops its entry without panicking,
+		// twice in a row.
+		before := sess.CachedRegions()
+		sess.Release(weights)
+		sess.Release(weights)
+		if got := sess.CachedRegions(); got != before-1 {
+			t.Errorf("region cache holds %d entries after weight release, want %d", got, before-1)
 		}
 	})
 }

@@ -8,6 +8,15 @@
 // substrate to build AlexNet and Inception-V3; thin wrappers register each
 // operation in the shared motif registry so the AI proxy benchmarks can be
 // expressed as DAGs of the same motif vocabulary.
+//
+// Every operation takes an optional *Session carrying the per-task region
+// cache, the tensor arena that recycles intermediate activations, and the
+// reusable parallel-dispatch scratch — together they make the steady state
+// of a measurement loop allocation-free.  The compute inner loops are tiled
+// (register-blocked outputs, hoisted index arithmetic, bounds-check-free
+// row slices) but preserve the per-output floating-point accumulation order
+// exactly, so tiled results are bit-identical to the naive loops and — with
+// the sequential accounting passes untouched — to any worker count.
 package aimotif
 
 import (
@@ -17,32 +26,6 @@ import (
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
-
-// Regions caches the synthetic address region assigned to each tensor so
-// repeated uses of the same tensor (weights reused every step, activations
-// consumed by the next layer) exhibit cache locality in the model.  A nil
-// *Regions is valid and simply allocates a fresh region per use.
-type Regions struct {
-	byTensor map[*tensor.Tensor]sim.Region
-}
-
-// NewRegions returns an empty region cache.
-func NewRegions() *Regions {
-	return &Regions{byTensor: make(map[*tensor.Tensor]sim.Region)}
-}
-
-// Of returns (allocating if needed) the region backing t on ex's node.
-func (r *Regions) Of(ex *sim.Exec, t *tensor.Tensor) sim.Region {
-	if r == nil || r.byTensor == nil {
-		return ex.Node().Alloc(t.Bytes())
-	}
-	if reg, ok := r.byTensor[t]; ok {
-		return reg
-	}
-	reg := ex.Node().Alloc(t.Bytes())
-	r.byTensor[t] = reg
-	return reg
-}
 
 // ConvConfig parameterises a 2-D convolution: stride and symmetric padding,
 // matching the knobs the paper lists for AI data motifs (input/filter
@@ -62,7 +45,7 @@ const siteAI = 0x41490000 // branch-site namespace for AI motifs
 // and memory traffic are reported to ex afterwards at output-row granularity
 // (in the same deterministic order as sequential execution) to keep
 // modelling overhead bounded.
-func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor, error) {
+func Conv2D(ex *sim.Exec, sess *Session, in, filters *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor, error) {
 	if in.Rank() != 4 || filters.Rank() != 4 {
 		return nil, fmt.Errorf("aimotif: Conv2D expects rank-4 input and filters, got %d and %d", in.Rank(), filters.Rank())
 	}
@@ -81,18 +64,22 @@ func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvCon
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("aimotif: Conv2D output would be empty (%dx%d)", oh, ow)
 	}
-	out := tensor.New(n, k, oh, ow)
-	inData, fData, oData := in.Data(), filters.Data(), out.Data()
-	rIn, rF, rOut := regionOf(regs, ex, in), regionOf(regs, ex, filters), regionOf(regs, ex, out)
+	out := sess.NewTensor(n, k, oh, ow)
+	rIn, rF, rOut := regionOf(sess, ex, in), regionOf(sess, ex, filters), regionOf(sess, ex, out)
 
 	// Compute phase: one independent output plane per (batch, out-channel)
-	// pair, distributed over the worker pool.
-	parallel.For(n*k, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			b, oc := p/k, p%k
-			convPlane(inData, fData, oData, b, oc, k, c, h, w, kh, kw, oh, ow, stride, pad)
-		}
-	})
+	// pair, distributed over the worker pool.  The interior of every output
+	// row — where no padding check can fire — runs register-blocked four
+	// outputs at a time; within each output the (ic, fy, fx) accumulation
+	// order matches the scalar path exactly, so the values are bit-identical.
+	job := sess.convScratch()
+	*job = convJob{
+		inData: in.Data(), fData: filters.Data(), oData: out.Data(),
+		k: k, c: c, h: h, w: w, kh: kh, kw: kw, oh: oh, ow: ow,
+		stride: stride, pad: pad,
+	}
+	parallel.ForRunner(n*k, 1, job)
+	*job = convJob{} // drop the tensor references so the session does not pin them
 
 	// Accounting phase: report one output row at a time — the row touches
 	// the filter once and a (kh x w) input window per channel.  This runs
@@ -112,37 +99,220 @@ func Conv2D(ex *sim.Exec, regs *Regions, in, filters *tensor.Tensor, cfg ConvCon
 	return out, nil
 }
 
-// convPlane computes one (batch, output-channel) plane of the convolution.
-// The accumulation order over (ic, fy, fx) matches the original sequential
-// kernel exactly, so the floating-point results are bit-identical.
-func convPlane(inData, fData, oData []float32, b, oc, k, c, h, w, kh, kw, oh, ow, stride, pad int) {
-	outBase := (b*k + oc) * oh * ow
-	for oy := 0; oy < oh; oy++ {
-		outRow := oData[outBase+oy*ow : outBase+(oy+1)*ow]
-		for ox := 0; ox < ow; ox++ {
-			var sum float32
-			for ic := 0; ic < c; ic++ {
-				fBase := ((oc*c + ic) * kh) * kw
-				inPlane := (b*c + ic) * h
-				for fy := 0; fy < kh; fy++ {
-					iy := oy*stride + fy - pad
-					if iy < 0 || iy >= h {
-						continue
-					}
-					fRow := fData[fBase+fy*kw : fBase+(fy+1)*kw]
-					inRow := inData[(inPlane+iy)*w : (inPlane+iy+1)*w]
-					for fx := 0; fx < kw; fx++ {
-						ix := ox*stride + fx - pad
-						if ix < 0 || ix >= w {
-							continue
-						}
-						sum += inRow[ix] * fRow[fx]
-					}
-				}
-			}
-			outRow[ox] = sum
+// convJob is the reusable dispatch state of Conv2D's compute phase: one work
+// item per (batch, output-channel) plane.
+type convJob struct {
+	inData, fData, oData                    []float32
+	k, c, h, w, kh, kw, oh, ow, stride, pad int
+}
+
+// Run implements parallel.Runner over (batch, output-channel) planes.
+func (j *convJob) Run(lo, hi int) {
+	for p := lo; p < hi; p++ {
+		j.plane(p/j.k, p%j.k)
+	}
+}
+
+// plane computes one (batch, output-channel) plane.  Each row splits into
+// the padded edges (scalar path with bounds checks) and the interior, where
+// every filter tap is in range by construction and four adjacent outputs
+// accumulate in registers sharing each loaded filter row.
+func (j *convJob) plane(b, oc int) {
+	ow, stride, pad, kw, w := j.ow, j.stride, j.pad, j.kw, j.w
+	// Interior outputs ox satisfy 0 <= ox*stride-pad and
+	// ox*stride-pad+kw-1 < w for every tap.
+	oxLo := 0
+	if pad > 0 {
+		oxLo = (pad + stride - 1) / stride
+	}
+	oxHi := (w - kw + pad) / stride
+	if w-kw+pad < 0 {
+		oxHi = -1
+	}
+	oxHi++ // exclusive
+	if oxLo > ow {
+		oxLo = ow
+	}
+	if oxHi > ow {
+		oxHi = ow
+	}
+	if oxHi < oxLo {
+		oxHi = oxLo
+	}
+
+	outBase := (b*j.k + oc) * j.oh * ow
+	for oy := 0; oy < j.oh; oy++ {
+		outRow := j.oData[outBase+oy*ow : outBase+(oy+1)*ow]
+		for ox := 0; ox < oxLo; ox++ {
+			outRow[ox] = j.point(b, oc, oy, ox)
+		}
+		ox := oxLo
+		for ; ox+8 <= oxHi; ox += 8 {
+			j.oct(b, oc, oy, ox, outRow)
+		}
+		for ; ox+4 <= oxHi; ox += 4 {
+			j.quad(b, oc, oy, ox, outRow)
+		}
+		for ; ox+2 <= oxHi; ox += 2 {
+			j.pair(b, oc, oy, ox, outRow)
+		}
+		for ; ox < ow; ox++ {
+			outRow[ox] = j.point(b, oc, oy, ox)
 		}
 	}
+}
+
+// fyRange returns the filter rows whose input row is in range for output
+// row oy, hoisting the per-tap row check out of the channel loops.
+func (j *convJob) fyRange(oy int) (int, int) {
+	fyLo, fyHi := 0, j.kh
+	if lo := j.pad - oy*j.stride; lo > 0 {
+		fyLo = lo
+	}
+	if hi := j.h + j.pad - oy*j.stride; hi < fyHi {
+		fyHi = hi
+	}
+	if fyHi < fyLo {
+		fyHi = fyLo
+	}
+	return fyLo, fyHi
+}
+
+// oct computes outputs ox..ox+7 of one row together — the widest interior
+// block, amortising each loaded filter tap over eight register
+// accumulators.
+func (j *convJob) oct(b, oc, oy, ox int, outRow []float32) {
+	stride, kw := j.stride, j.kw
+	base := ox*stride - j.pad
+	span := 7*stride + kw
+	fyLo, fyHi := j.fyRange(oy)
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	for ic := 0; ic < j.c; ic++ {
+		fBase := ((oc*j.c + ic) * j.kh) * kw
+		inPlane := (b*j.c + ic) * j.h
+		for fy := fyLo; fy < fyHi; fy++ {
+			iy := oy*stride + fy - j.pad
+			fRow := j.fData[fBase+fy*kw : fBase+(fy+1)*kw]
+			rowOff := (inPlane+iy)*j.w + base
+			inRow := j.inData[rowOff : rowOff+span]
+			for fx := 0; fx < kw; fx++ {
+				f := fRow[fx]
+				s0 += inRow[fx] * f
+				s1 += inRow[fx+stride] * f
+				s2 += inRow[fx+2*stride] * f
+				s3 += inRow[fx+3*stride] * f
+				s4 += inRow[fx+4*stride] * f
+				s5 += inRow[fx+5*stride] * f
+				s6 += inRow[fx+6*stride] * f
+				s7 += inRow[fx+7*stride] * f
+			}
+		}
+	}
+	outRow[ox] = s0
+	outRow[ox+1] = s1
+	outRow[ox+2] = s2
+	outRow[ox+3] = s3
+	outRow[ox+4] = s4
+	outRow[ox+5] = s5
+	outRow[ox+6] = s6
+	outRow[ox+7] = s7
+}
+
+// point computes a single output.  Instead of testing every tap against the
+// input bounds, the valid (fy, fx) window is clamped up front — the padded
+// taps it excludes are exactly the ones the naive kernel skipped, and the
+// surviving taps accumulate in the same (ic, fy, fx) order, so the value is
+// bit-identical to the naive per-tap-checked loop.
+func (j *convJob) point(b, oc, oy, ox int) float32 {
+	kw, stride, pad := j.kw, j.stride, j.pad
+	// Valid tap ranges: 0 <= oy*stride+fy-pad < h and likewise for fx.
+	fyLo, fyHi := j.fyRange(oy)
+	fxLo, fxHi := 0, kw
+	if lo := pad - ox*stride; lo > 0 {
+		fxLo = lo
+	}
+	if hi := j.w + pad - ox*stride; hi < fxHi {
+		fxHi = hi
+	}
+	if fyLo >= fyHi || fxLo >= fxHi {
+		return 0
+	}
+	colBase := ox*stride - pad
+	var sum float32
+	for ic := 0; ic < j.c; ic++ {
+		fBase := ((oc*j.c + ic) * j.kh) * kw
+		inPlane := (b*j.c + ic) * j.h
+		for fy := fyLo; fy < fyHi; fy++ {
+			iy := oy*stride + fy - pad
+			fRow := j.fData[fBase+fy*kw+fxLo : fBase+fy*kw+fxHi]
+			inRow := j.inData[(inPlane+iy)*j.w+colBase+fxLo : (inPlane+iy)*j.w+colBase+fxHi]
+			for i, f := range fRow {
+				sum += inRow[i] * f
+			}
+		}
+	}
+	return sum
+}
+
+// quad computes outputs ox..ox+3 of one row together.  All four are
+// interior, so the input row slice needs no per-tap bounds checks; each
+// output's taps accumulate into its own register in the exact (ic, fy, fx)
+// order of the scalar path.
+func (j *convJob) quad(b, oc, oy, ox int, outRow []float32) {
+	stride, kw := j.stride, j.kw
+	base := ox*stride - j.pad
+	span := 3*stride + kw // input columns covered by the four outputs
+	fyLo, fyHi := j.fyRange(oy)
+	var s0, s1, s2, s3 float32
+	for ic := 0; ic < j.c; ic++ {
+		fBase := ((oc*j.c + ic) * j.kh) * kw
+		inPlane := (b*j.c + ic) * j.h
+		for fy := fyLo; fy < fyHi; fy++ {
+			iy := oy*stride + fy - j.pad
+			fRow := j.fData[fBase+fy*kw : fBase+(fy+1)*kw]
+			rowOff := (inPlane+iy)*j.w + base
+			inRow := j.inData[rowOff : rowOff+span]
+			for fx := 0; fx < kw; fx++ {
+				f := fRow[fx]
+				s0 += inRow[fx] * f
+				s1 += inRow[fx+stride] * f
+				s2 += inRow[fx+2*stride] * f
+				s3 += inRow[fx+3*stride] * f
+			}
+		}
+	}
+	outRow[ox] = s0
+	outRow[ox+1] = s1
+	outRow[ox+2] = s2
+	outRow[ox+3] = s3
+}
+
+// pair is quad's two-wide sibling for interior remainders, so that on small
+// feature maps (the deep, channel-heavy layers) at most one output per row
+// is left to the scalar path on each side.
+func (j *convJob) pair(b, oc, oy, ox int, outRow []float32) {
+	stride, kw := j.stride, j.kw
+	base := ox*stride - j.pad
+	span := stride + kw
+	fyLo, fyHi := j.fyRange(oy)
+	var s0, s1 float32
+	for ic := 0; ic < j.c; ic++ {
+		fBase := ((oc*j.c + ic) * j.kh) * kw
+		inPlane := (b*j.c + ic) * j.h
+		for fy := fyLo; fy < fyHi; fy++ {
+			iy := oy*stride + fy - j.pad
+			fRow := j.fData[fBase+fy*kw : fBase+(fy+1)*kw]
+			rowOff := (inPlane+iy)*j.w + base
+			inRow := j.inData[rowOff : rowOff+span]
+			for fx := 0; fx < kw; fx++ {
+				f := fRow[fx]
+				s0 += inRow[fx] * f
+				s1 += inRow[fx+stride] * f
+			}
+		}
+	}
+	outRow[ox] = s0
+	outRow[ox+1] = s1
 }
 
 // PoolKind selects max or average pooling.
@@ -156,7 +326,7 @@ const (
 
 // Pool2D applies window pooling to in (N, C, H, W) with the given window and
 // stride and returns the pooled tensor.
-func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, window, stride int) (*tensor.Tensor, error) {
+func Pool2D(ex *sim.Exec, sess *Session, in *tensor.Tensor, kind PoolKind, window, stride int) (*tensor.Tensor, error) {
 	if in.Rank() != 4 {
 		return nil, fmt.Errorf("aimotif: Pool2D expects a rank-4 input, got %d", in.Rank())
 	}
@@ -175,40 +345,17 @@ func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, windo
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("aimotif: Pool2D output would be empty")
 	}
-	out := tensor.New(n, c, oh, ow)
-	inData, oData := in.Data(), out.Data()
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	out := sess.NewTensor(n, c, oh, ow)
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 
 	// Compute phase: one independent (batch, channel) plane per work item.
-	parallel.For(n*c, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			b, ch := p/c, p%c
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var agg float32
-					if kind == MaxPool {
-						agg = float32(-3.4e38)
-					}
-					for fy := 0; fy < window; fy++ {
-						for fx := 0; fx < window; fx++ {
-							v := inData[((b*c+ch)*h+oy*stride+fy)*w+ox*stride+fx]
-							if kind == MaxPool {
-								if v > agg {
-									agg = v
-								}
-							} else {
-								agg += v
-							}
-						}
-					}
-					if kind == AvgPool {
-						agg /= float32(window * window)
-					}
-					oData[((b*c+ch)*oh+oy)*ow+ox] = agg
-				}
-			}
-		}
-	})
+	job := sess.poolScratch()
+	*job = poolJob{
+		inData: in.Data(), oData: out.Data(),
+		c: c, h: h, w: w, oh: oh, ow: ow, window: window, stride: stride, kind: kind,
+	}
+	parallel.ForRunner(n*c, 1, job)
+	*job = poolJob{}
 
 	// Accounting phase, sequential and deterministic.
 	for b := 0; b < n; b++ {
@@ -225,9 +372,42 @@ func Pool2D(ex *sim.Exec, regs *Regions, in *tensor.Tensor, kind PoolKind, windo
 	return out, nil
 }
 
-func regionOf(regs *Regions, ex *sim.Exec, t *tensor.Tensor) sim.Region {
-	if regs == nil {
-		return ex.Node().Alloc(t.Bytes())
+// poolJob is the reusable dispatch state of Pool2D's compute phase: one
+// work item per (batch, channel) plane.
+type poolJob struct {
+	inData, oData   []float32
+	c, h, w, oh, ow int
+	window, stride  int
+	kind            PoolKind
+}
+
+// Run implements parallel.Runner over (batch, channel) planes.
+func (j *poolJob) Run(lo, hi int) {
+	for p := lo; p < hi; p++ {
+		b, ch := p/j.c, p%j.c
+		for oy := 0; oy < j.oh; oy++ {
+			for ox := 0; ox < j.ow; ox++ {
+				var agg float32
+				if j.kind == MaxPool {
+					agg = float32(-3.4e38)
+				}
+				for fy := 0; fy < j.window; fy++ {
+					for fx := 0; fx < j.window; fx++ {
+						v := j.inData[((b*j.c+ch)*j.h+oy*j.stride+fy)*j.w+ox*j.stride+fx]
+						if j.kind == MaxPool {
+							if v > agg {
+								agg = v
+							}
+						} else {
+							agg += v
+						}
+					}
+				}
+				if j.kind == AvgPool {
+					agg /= float32(j.window * j.window)
+				}
+				j.oData[((b*j.c+ch)*j.oh+oy)*j.ow+ox] = agg
+			}
+		}
 	}
-	return regs.Of(ex, t)
 }

@@ -11,7 +11,7 @@ import (
 
 // FullyConnected computes out = in * W + b where in is (N, In), weights is
 // (In, Out) and bias is (Out) (bias may be nil).
-func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tensor) (*tensor.Tensor, error) {
+func FullyConnected(ex *sim.Exec, sess *Session, in, weights, bias *tensor.Tensor) (*tensor.Tensor, error) {
 	if in.Rank() != 2 || weights.Rank() != 2 {
 		return nil, fmt.Errorf("aimotif: FullyConnected expects rank-2 input and weights")
 	}
@@ -23,9 +23,8 @@ func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tenso
 	if bias != nil && bias.Size() != outDim {
 		return nil, fmt.Errorf("aimotif: bias size %d does not match output %d", bias.Size(), outDim)
 	}
-	out := tensor.New(n, outDim)
-	inData, wData, oData := in.Data(), weights.Data(), out.Data()
-	rIn, rW, rOut := regionOf(regs, ex, in), regionOf(regs, ex, weights), regionOf(regs, ex, out)
+	out := sess.NewTensor(n, outDim)
+	rIn, rW, rOut := regionOf(sess, ex, in), regionOf(sess, ex, weights), regionOf(sess, ex, out)
 	var biasData []float32
 	if bias != nil {
 		biasData = bias.Data()
@@ -33,23 +32,17 @@ func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tenso
 
 	// Compute phase: each input row produces an independent output row, so
 	// the batch dimension parallelises on the worker pool with bit-identical
-	// results.
-	parallel.For(n, 1, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			inRow := inData[b*inDim : (b+1)*inDim]
-			outRow := oData[b*outDim : (b+1)*outDim]
-			for o := 0; o < outDim; o++ {
-				var sum float32
-				for i := 0; i < inDim; i++ {
-					sum += inRow[i] * wData[i*outDim+o]
-				}
-				if biasData != nil {
-					sum += biasData[o]
-				}
-				outRow[o] = sum
-			}
-		}
-	})
+	// results.  Outputs are register-blocked four at a time, which turns the
+	// column-strided weight walk of the naive loop into a sequential stream
+	// over the weight rows; each output still accumulates its taps in input
+	// order, so the values match the naive loop bit for bit.
+	job := sess.fcScratch()
+	*job = fcJob{
+		inData: in.Data(), wData: weights.Data(), oData: out.Data(), biasData: biasData,
+		inDim: inDim, outDim: outDim,
+	}
+	parallel.ForRunner(n, 1, job)
+	*job = fcJob{}
 
 	// Accounting phase, per input row: the row is streamed once per output
 	// neuron, the weight matrix is streamed column-wise.
@@ -64,18 +57,73 @@ func FullyConnected(ex *sim.Exec, regs *Regions, in, weights, bias *tensor.Tenso
 	return out, nil
 }
 
+// fcJob is the reusable dispatch state of FullyConnected's compute phase:
+// one work item per batch row.
+type fcJob struct {
+	inData, wData, oData, biasData []float32
+	inDim, outDim                  int
+}
+
+// Run implements parallel.Runner over batch rows.
+func (j *fcJob) Run(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		j.row(b)
+	}
+}
+
+// row computes one output row.  Four outputs share each streamed input
+// element, walking the weight matrix row-major in four-wide strips instead
+// of one full column per output.
+func (j *fcJob) row(b int) {
+	inDim, outDim := j.inDim, j.outDim
+	inRow := j.inData[b*inDim : (b+1)*inDim]
+	outRow := j.oData[b*outDim : (b+1)*outDim]
+	o := 0
+	for ; o+4 <= outDim; o += 4 {
+		var s0, s1, s2, s3 float32
+		for i := 0; i < inDim; i++ {
+			x := inRow[i]
+			wr := j.wData[i*outDim+o : i*outDim+o+4]
+			s0 += x * wr[0]
+			s1 += x * wr[1]
+			s2 += x * wr[2]
+			s3 += x * wr[3]
+		}
+		if j.biasData != nil {
+			s0 += j.biasData[o]
+			s1 += j.biasData[o+1]
+			s2 += j.biasData[o+2]
+			s3 += j.biasData[o+3]
+		}
+		outRow[o] = s0
+		outRow[o+1] = s1
+		outRow[o+2] = s2
+		outRow[o+3] = s3
+	}
+	for ; o < outDim; o++ {
+		var sum float32
+		for i := 0; i < inDim; i++ {
+			sum += inRow[i] * j.wData[i*outDim+o]
+		}
+		if j.biasData != nil {
+			sum += j.biasData[o]
+		}
+		outRow[o] = sum
+	}
+}
+
 // ElementwiseMultiply computes the Hadamard product of two same-shaped
 // tensors.
-func ElementwiseMultiply(ex *sim.Exec, regs *Regions, a, b *tensor.Tensor) (*tensor.Tensor, error) {
+func ElementwiseMultiply(ex *sim.Exec, sess *Session, a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if !tensor.SameShape(a, b) {
 		return nil, fmt.Errorf("aimotif: ElementwiseMultiply shape mismatch %v vs %v", a.Shape(), b.Shape())
 	}
-	out := tensor.New(a.Shape()...)
+	out := sess.NewTensor(a.Shape()...)
 	ad, bd, od := a.Data(), b.Data(), out.Data()
 	for i := range ad {
 		od[i] = ad[i] * bd[i]
 	}
-	ra, rb, ro := regionOf(regs, ex, a), regionOf(regs, ex, b), regionOf(regs, ex, out)
+	ra, rb, ro := regionOf(sess, ex, a), regionOf(sess, ex, b), regionOf(sess, ex, out)
 	ex.Load(ra, 0, a.Bytes())
 	ex.Load(rb, 0, b.Bytes())
 	ex.Store(ro, 0, out.Bytes())
@@ -94,25 +142,31 @@ const (
 )
 
 // Activate applies the activation element-wise.
-func Activate(ex *sim.Exec, regs *Regions, in *tensor.Tensor, act Activation) *tensor.Tensor {
-	out := tensor.New(in.Shape()...)
+func Activate(ex *sim.Exec, sess *Session, in *tensor.Tensor, act Activation) *tensor.Tensor {
+	out := sess.NewTensor(in.Shape()...)
 	id, od := in.Data(), out.Data()
 	negatives := 0
-	for i, v := range id {
-		switch act {
-		case ReLU:
+	switch act {
+	case ReLU:
+		// The arena hands out zeroed tensors, so only positive elements
+		// need a store — exactly like the naive loop over fresh storage.
+		for i, v := range id {
 			if v > 0 {
 				od[i] = v
 			} else {
 				negatives++
 			}
-		case Sigmoid:
+		}
+	case Sigmoid:
+		for i, v := range id {
 			od[i] = float32(1 / (1 + math.Exp(-float64(v))))
-		case Tanh:
+		}
+	case Tanh:
+		for i, v := range id {
 			od[i] = float32(math.Tanh(float64(v)))
 		}
 	}
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Store(rOut, 0, out.Bytes())
 	switch act {
@@ -130,12 +184,12 @@ func Activate(ex *sim.Exec, regs *Regions, in *tensor.Tensor, act Activation) *t
 }
 
 // Softmax applies a row-wise softmax to a (N, C) tensor.
-func Softmax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func Softmax(ex *sim.Exec, sess *Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	if in.Rank() != 2 {
 		return nil, fmt.Errorf("aimotif: Softmax expects a rank-2 tensor")
 	}
 	n, c := in.Dim(0), in.Dim(1)
-	out := tensor.New(n, c)
+	out := sess.NewTensor(n, c)
 	id, od := in.Data(), out.Data()
 	for b := 0; b < n; b++ {
 		row := id[b*c : (b+1)*c]
@@ -155,7 +209,7 @@ func Softmax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, er
 			od[b*c+i] = float32(float64(od[b*c+i]) / sum)
 		}
 	}
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Store(rOut, 0, out.Bytes())
 	ex.Float(uint64(in.Size()) * 12)

@@ -3,7 +3,6 @@ package aimotif
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
@@ -13,46 +12,20 @@ import (
 // BatchNorm normalises a (N, C, H, W) tensor per channel to zero mean and
 // unit variance (inference-style batch normalisation with statistics
 // computed from the batch itself).
-func BatchNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func BatchNorm(ex *sim.Exec, sess *Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	if in.Rank() != 4 {
 		return nil, fmt.Errorf("aimotif: BatchNorm expects a rank-4 tensor")
 	}
 	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
-	out := tensor.New(n, c, h, w)
-	id, od := in.Data(), out.Data()
-	plane := h * w
-	const eps = 1e-5
+	out := sess.NewTensor(n, c, h, w)
 	// Each channel's statistics and normalisation are independent, so the
 	// channel dimension parallelises on the worker pool; the per-channel
 	// accumulation order is unchanged, keeping results bit-identical.
-	parallel.For(c, 1, func(lo, hi int) {
-		for ch := lo; ch < hi; ch++ {
-			var sum, sq float64
-			count := 0
-			for b := 0; b < n; b++ {
-				base := (b*c + ch) * plane
-				for i := 0; i < plane; i++ {
-					v := float64(id[base+i])
-					sum += v
-					sq += v * v
-					count++
-				}
-			}
-			mean := sum / float64(count)
-			variance := sq/float64(count) - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
-			inv := 1 / math.Sqrt(variance+eps)
-			for b := 0; b < n; b++ {
-				base := (b*c + ch) * plane
-				for i := 0; i < plane; i++ {
-					od[base+i] = float32((float64(id[base+i]) - mean) * inv)
-				}
-			}
-		}
-	})
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	job := sess.bnScratch()
+	*job = bnJob{inData: in.Data(), oData: out.Data(), n: n, c: c, plane: h * w}
+	parallel.ForRunner(c, 1, job)
+	*job = bnJob{}
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Load(rIn, 0, in.Bytes()) // second pass for normalisation
 	ex.Store(rOut, 0, out.Bytes())
@@ -61,60 +34,119 @@ func BatchNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, 
 	return out, nil
 }
 
+// bnJob is the reusable dispatch state of BatchNorm's compute phase: one
+// work item per channel.
+type bnJob struct {
+	inData, oData []float32
+	n, c, plane   int
+}
+
+// Run implements parallel.Runner over channels.
+func (j *bnJob) Run(lo, hi int) {
+	const eps = 1e-5
+	for ch := lo; ch < hi; ch++ {
+		var sum, sq float64
+		count := 0
+		for b := 0; b < j.n; b++ {
+			base := (b*j.c + ch) * j.plane
+			for i := 0; i < j.plane; i++ {
+				v := float64(j.inData[base+i])
+				sum += v
+				sq += v * v
+				count++
+			}
+		}
+		mean := sum / float64(count)
+		variance := sq/float64(count) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := 1 / math.Sqrt(variance+eps)
+		for b := 0; b < j.n; b++ {
+			base := (b*j.c + ch) * j.plane
+			for i := 0; i < j.plane; i++ {
+				j.oData[base+i] = float32((float64(j.inData[base+i]) - mean) * inv)
+			}
+		}
+	}
+}
+
 // CosineNorm scales each sample (first dimension) of the tensor to unit L2
 // norm (cosine normalisation).
-func CosineNorm(ex *sim.Exec, regs *Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func CosineNorm(ex *sim.Exec, sess *Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	if in.Rank() < 2 {
 		return nil, fmt.Errorf("aimotif: CosineNorm expects at least rank-2")
 	}
 	n := in.Dim(0)
-	per := in.Size() / n
-	out := tensor.New(in.Shape()...)
-	id, od := in.Data(), out.Data()
+	out := sess.NewTensor(in.Shape()...)
 	// Samples normalise independently, so the batch dimension parallelises
 	// on the worker pool with bit-identical results.
-	parallel.For(n, 1, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			var sq float64
-			for i := 0; i < per; i++ {
-				v := float64(id[b*per+i])
-				sq += v * v
-			}
-			inv := 1.0
-			if sq > 0 {
-				inv = 1 / math.Sqrt(sq)
-			}
-			for i := 0; i < per; i++ {
-				od[b*per+i] = float32(float64(id[b*per+i]) * inv)
-			}
-		}
-	})
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	job := sess.cnScratch()
+	*job = cnJob{inData: in.Data(), oData: out.Data(), per: in.Size() / n}
+	parallel.ForRunner(n, 1, job)
+	*job = cnJob{}
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Store(rOut, 0, out.Bytes())
 	ex.Float(uint64(in.Size()) * 4)
 	return out, nil
 }
 
+// cnJob is the reusable dispatch state of CosineNorm's compute phase: one
+// work item per sample.
+type cnJob struct {
+	inData, oData []float32
+	per           int
+}
+
+// Run implements parallel.Runner over samples.
+func (j *cnJob) Run(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		var sq float64
+		for i := 0; i < j.per; i++ {
+			v := float64(j.inData[b*j.per+i])
+			sq += v * v
+		}
+		inv := 1.0
+		if sq > 0 {
+			inv = 1 / math.Sqrt(sq)
+		}
+		for i := 0; i < j.per; i++ {
+			j.oData[b*j.per+i] = float32(float64(j.inData[b*j.per+i]) * inv)
+		}
+	}
+}
+
 // Dropout zeroes a rate fraction of the elements (deterministically seeded)
 // and scales the survivors by 1/(1-rate), the training-time formulation.
-func Dropout(ex *sim.Exec, regs *Regions, in *tensor.Tensor, rate float64, seed int64) (*tensor.Tensor, error) {
+func Dropout(ex *sim.Exec, sess *Session, in *tensor.Tensor, rate float64, seed int64) (*tensor.Tensor, error) {
 	if rate < 0 || rate >= 1 {
 		return nil, fmt.Errorf("aimotif: dropout rate %g outside [0,1)", rate)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	out := tensor.New(in.Shape()...)
+	out := sess.NewTensor(in.Shape()...)
 	id, od := in.Data(), out.Data()
 	scale := float32(1 / (1 - rate))
 	dropped := 0
+	// Deterministic per-element Bernoulli draws from an inline splitmix64
+	// stream: allocation-free (unlike a rand.Rand per call) and stable
+	// across worker counts.  The arena hands out zeroed tensors, so dropped
+	// elements need no store.
+	state := uint64(seed)
 	for i, v := range id {
-		if rng.Float64() < rate {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if float64(z>>11)/(1<<53) < rate {
 			dropped++
 			continue
 		}
 		od[i] = v * scale
 	}
-	rIn, rOut := regionOf(regs, ex, in), regionOf(regs, ex, out)
+	rIn, rOut := regionOf(sess, ex, in), regionOf(sess, ex, out)
 	ex.Load(rIn, 0, in.Bytes())
 	ex.Store(rOut, 0, out.Bytes())
 	ex.Float(uint64(in.Size() - dropped))
@@ -125,22 +157,24 @@ func Dropout(ex *sim.Exec, regs *Regions, in *tensor.Tensor, rate float64, seed 
 	return out, nil
 }
 
-// ReduceSum sums all elements of the tensor into a scalar tensor.
-func ReduceSum(ex *sim.Exec, regs *Regions, in *tensor.Tensor) *tensor.Tensor {
+// ReduceSum sums all elements of the tensor into a scalar tensor.  The
+// scalar result is user-visible output, so it stays off-arena.
+func ReduceSum(ex *sim.Exec, sess *Session, in *tensor.Tensor) *tensor.Tensor {
 	var sum float64
 	for _, v := range in.Data() {
 		sum += float64(v)
 	}
 	out := tensor.New()
 	out.Set(float32(sum))
-	ex.Load(regionOf(regs, ex, in), 0, in.Bytes())
+	ex.Load(regionOf(sess, ex, in), 0, in.Bytes())
 	ex.Float(uint64(in.Size()))
 	return out
 }
 
 // ReduceMax finds the maximum element of the tensor (the Sort-class AI
-// motif) and returns it as a scalar tensor.
-func ReduceMax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) *tensor.Tensor {
+// motif) and returns it as a scalar tensor.  The scalar result is
+// user-visible output, so it stays off-arena.
+func ReduceMax(ex *sim.Exec, sess *Session, in *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New()
 	data := in.Data()
 	if len(data) == 0 {
@@ -155,7 +189,7 @@ func ReduceMax(ex *sim.Exec, regs *Regions, in *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	out.Set(maxV)
-	ex.Load(regionOf(regs, ex, in), 0, in.Bytes())
+	ex.Load(regionOf(sess, ex, in), 0, in.Bytes())
 	ex.Int(uint64(in.Size()) * 2)
 	for i := 0; i < in.Size(); i += 64 {
 		ex.Branch(siteAI+6, i < updates)

@@ -1,0 +1,177 @@
+package aimotif
+
+import (
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tensor"
+)
+
+// Session owns the per-measurement-session state of the AI kernels: the
+// synthetic-address region cache, the tensor arena that recycles
+// intermediate activations across steps, and the reusable scratch state the
+// kernels dispatch their parallel compute phases with.  One session belongs
+// to one simulated task (it is not safe for concurrent use), mirroring how
+// the paper's workloads run one runtime instance per task slot.
+//
+// Regions are keyed by tensor ID — the identity a tensor keeps for its
+// logical lifetime — rather than by Go pointer, so an arena-recycled
+// backing store (fresh ID) gets a fresh region exactly like a fresh
+// allocation would, while a long-lived tensor (weights reused every step)
+// keeps hitting the same region and therefore the same cache lines.
+// Releasing a tensor drops its region entry, which is what keeps the map
+// bounded over a long-lived server's unbounded step count: live entries are
+// only the weights plus the in-flight activations of the current step.
+//
+// A nil *Session is valid everywhere one is accepted: tensors come from
+// plain allocation and every use of a tensor gets a fresh region.
+type Session struct {
+	regions map[*tensor.Tensor]sessionRegion
+	arena   *tensor.Arena
+
+	// Reusable scratch state for the kernels' parallel compute phases;
+	// dispatching a *job that lives in the session keeps the hot path free
+	// of per-call closure allocations.
+	conv convJob
+	pool poolJob
+	fc   fcJob
+	bn   bnJob
+	cn   cnJob
+}
+
+// sessionRegion is one region-cache entry: the region plus the tensor ID it
+// was allocated for.  Arena-recycled tensor headers come back with a fresh
+// ID, so a lookup validates the ID and re-allocates on mismatch — exactly
+// the behaviour a fresh allocation would have had — while the map's key set
+// (the live tensor headers) stays stable, so the steady state neither grows
+// the map nor churns its buckets.
+type sessionRegion struct {
+	id  uint64
+	reg sim.Region
+}
+
+// NewSession returns a session whose intermediate activations are recycled
+// through a tensor arena — the allocation-free steady-state configuration
+// every measurement loop should use.
+func NewSession() *Session {
+	return &Session{regions: make(map[*tensor.Tensor]sessionRegion), arena: tensor.NewArena()}
+}
+
+// NewUnpooledSession returns a session that allocates every tensor freshly
+// instead of recycling through an arena.  It exists as the reference
+// configuration for the property tests proving that arena reuse is
+// bit-identical — in tensor values and in simulation counters — to fresh
+// allocation.
+func NewUnpooledSession() *Session {
+	return &Session{regions: make(map[*tensor.Tensor]sessionRegion)}
+}
+
+// NewTensor returns a zeroed tensor of the given shape: from the session's
+// arena when it has one, freshly allocated otherwise (including on a nil
+// session).
+func (s *Session) NewTensor(shape ...int) *tensor.Tensor {
+	if s == nil {
+		return tensor.New(shape...)
+	}
+	return s.arena.New(shape...)
+}
+
+// ViewRows returns a rank-2 (rows, cols) tensor sharing src's data — the
+// flatten the dense and softmax layers perform every step — recycling view
+// headers through the arena when the session has one, so the steady state
+// allocates nothing.  Views must be Released before their source.
+func (s *Session) ViewRows(src *tensor.Tensor, rows, cols int) (*tensor.Tensor, error) {
+	if s == nil {
+		return src.Reshape(rows, cols)
+	}
+	return s.arena.ViewRows(src, rows, cols)
+}
+
+// Release hands a transient tensor back to the session.  If the tensor
+// came from the session's arena its backing store is recycled and its
+// region entry stays behind (the header returns with a fresh ID, which
+// invalidates the entry without a map delete); an off-arena tensor has its
+// region entry dropped so a long-lived session cannot accumulate entries
+// for dead tensors.  Weights and other off-arena tensors pass through
+// unharmed, so callers release uniformly.  Releasing the same arena tensor
+// twice panics.
+func (s *Session) Release(t *tensor.Tensor) {
+	if s == nil || t == nil {
+		return
+	}
+	if !t.Pooled() {
+		delete(s.regions, t)
+		return
+	}
+	s.arena.Release(t)
+}
+
+// Of returns (allocating and caching if needed) the synthetic-address
+// region backing t on ex's node.  A nil session allocates a fresh region
+// per use; a stale entry (the header was recycled by the arena since) is
+// replaced, which is bit-identical to the fresh allocation the tensor
+// would have received without pooling.
+func (s *Session) Of(ex *sim.Exec, t *tensor.Tensor) sim.Region {
+	if s == nil {
+		return ex.Node().Alloc(t.Bytes())
+	}
+	if e, ok := s.regions[t]; ok && e.id == t.ID() {
+		return e.reg
+	}
+	reg := ex.Node().Alloc(t.Bytes())
+	s.regions[t] = sessionRegion{id: t.ID(), reg: reg}
+	return reg
+}
+
+// CachedRegions returns the number of live region entries, exposed so tests
+// can assert the map stays bounded across steps.
+func (s *Session) CachedRegions() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.regions)
+}
+
+// regionOf is the kernels' nil-tolerant region lookup.
+func regionOf(sess *Session, ex *sim.Exec, t *tensor.Tensor) sim.Region {
+	return sess.Of(ex, t)
+}
+
+// convScratch returns the session's reusable conv job, or a transient one
+// for sessionless calls.
+func (s *Session) convScratch() *convJob {
+	if s == nil {
+		return new(convJob)
+	}
+	return &s.conv
+}
+
+// poolScratch returns the session's reusable pooling job.
+func (s *Session) poolScratch() *poolJob {
+	if s == nil {
+		return new(poolJob)
+	}
+	return &s.pool
+}
+
+// fcScratch returns the session's reusable fully-connected job.
+func (s *Session) fcScratch() *fcJob {
+	if s == nil {
+		return new(fcJob)
+	}
+	return &s.fc
+}
+
+// bnScratch returns the session's reusable batch-norm job.
+func (s *Session) bnScratch() *bnJob {
+	if s == nil {
+		return new(bnJob)
+	}
+	return &s.bn
+}
+
+// cnScratch returns the session's reusable cosine-norm job.
+func (s *Session) cnScratch() *cnJob {
+	if s == nil {
+		return new(cnJob)
+	}
+	return &s.cn
+}

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 )
 
 // Params is the tunable parameter vector P of Table I.  The first four
@@ -108,15 +107,33 @@ func (s Setting) Validate() error {
 // settings with equal Canonical strings produce identical simulations, which
 // is what the tuner's measurement memo keys on.
 func (s Setting) Canonical() string {
-	var b strings.Builder
-	b.Grow(len(ParameterNames) * 28)
+	return string(s.AppendCanonical(make([]byte, 0, len(ParameterNames)*28)))
+}
+
+// AppendCanonical appends the canonical form of the setting to dst and
+// returns the extended slice, byte-identical to Canonical.  The serving hot
+// path builds its cache-lookup keys with it into a reused buffer, so a
+// repeated request costs zero allocations.
+func (s Setting) AppendCanonical(dst []byte) []byte {
 	for i, n := range ParameterNames {
 		if i > 0 {
-			b.WriteByte(' ')
+			dst = append(dst, ' ')
 		}
-		fmt.Fprintf(&b, "%s=%016x", n, math.Float64bits(s.Get(n)))
+		dst = append(dst, n...)
+		dst = append(dst, '=')
+		dst = appendHex16(dst, math.Float64bits(s.Get(n)))
 	}
-	return b.String()
+	return dst
+}
+
+// appendHex16 appends v as exactly sixteen lowercase hex digits (the %016x
+// rendering Canonical has always used).
+func appendHex16(dst []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, digits[(v>>uint(shift))&0xF])
+	}
+	return dst
 }
 
 // String renders the setting deterministically (sorted by name).

@@ -6,6 +6,7 @@ import (
 	"dataproxy/internal/aimotif"
 	"dataproxy/internal/arch"
 	"dataproxy/internal/datagen"
+	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tensor"
 )
@@ -46,7 +47,7 @@ func TestNetworkForwardShapes(t *testing.T) {
 	c.RunOnNode("fwd", 0, 1, func(ex *sim.Exec) {
 		imgs, _ := datagen.GenerateImages(datagen.ImageConfig{Seed: 1, Count: 2, Channels: 3, Height: 16, Width: 16})
 		batch := aimotif.ImagesToTensor(imgs, 3, 16, 16)
-		out, err := net.Forward(ex, aimotif.NewRegions(), batch)
+		out, err := net.Forward(ex, aimotif.NewSession(), batch)
 		if err != nil {
 			t.Error(err)
 			return
@@ -160,7 +161,7 @@ func TestInceptionModuleConcatenatesChannels(t *testing.T) {
 		// The avg-pool branch with window 3 stride 1 shrinks H/W, so restrict
 		// this test to the branches that preserve spatial size.
 		mod.Branches = mod.Branches[:2]
-		out, err := mod.Forward(ex, aimotif.NewRegions(), in)
+		out, err := mod.Forward(ex, aimotif.NewSession(), in)
 		if err != nil {
 			t.Error(err)
 			return
@@ -177,15 +178,15 @@ func TestInceptionModuleConcatenatesChannels(t *testing.T) {
 func TestConcatChannelsValidation(t *testing.T) {
 	a := tensor.New(1, 2, 4, 4)
 	b := tensor.New(1, 3, 4, 4)
-	out, err := concatChannels([]*tensor.Tensor{a, b})
+	out, err := concatChannels(nil, []*tensor.Tensor{a, b})
 	if err != nil || out.Dim(1) != 5 {
 		t.Fatalf("concat failed: %v", err)
 	}
-	if _, err := concatChannels(nil); err == nil {
+	if _, err := concatChannels(nil, nil); err == nil {
 		t.Fatal("empty concat should fail")
 	}
 	c := tensor.New(1, 2, 8, 8)
-	if _, err := concatChannels([]*tensor.Tensor{a, c}); err == nil {
+	if _, err := concatChannels(nil, []*tensor.Tensor{a, c}); err == nil {
 		t.Fatal("mismatched spatial dims should fail")
 	}
 }
@@ -253,6 +254,64 @@ func TestLayerNames(t *testing.T) {
 	for _, l := range layers {
 		if l.Name() == "" {
 			t.Errorf("%T has empty name", l)
+		}
+	}
+}
+
+// TestArenaSessionMatchesFreshAllocation proves the tensor arena is
+// behaviour-neutral: a session that recycles its intermediate activations
+// across steps produces bit-identical outputs AND bit-identical simulation
+// counters to a session that allocates every tensor freshly, at any worker
+// count.
+func TestArenaSessionMatchesFreshAllocation(t *testing.T) {
+	imgs, err := datagen.GenerateImages(datagen.ImageConfig{Seed: 5, Count: 2, Channels: 3, Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := tinyNet()
+	const steps = 3
+
+	run := func(workers int, pooled bool) ([]float32, uint64, uint64) {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		cluster := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+		var final []float32
+		cluster.RunOnNode("fwd", 0, 1, func(ex *sim.Exec) {
+			sess := aimotif.NewUnpooledSession()
+			if pooled {
+				sess = aimotif.NewSession()
+			}
+			batch := aimotif.ImagesToTensor(imgs, 3, 16, 16)
+			for step := 0; step < steps; step++ {
+				out, err := net.Forward(ex, sess, batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				final = append(final[:0], out.Data()...)
+				sess.Release(out)
+			}
+		})
+		cnt := cluster.Nodes()[0].Counters()
+		return final, cnt.Instructions(), cnt.Cycles
+	}
+
+	wantOut, wantInstr, wantCycles := run(1, false)
+	for _, workers := range []int{1, 8} {
+		for _, pooled := range []bool{false, true} {
+			out, instr, cycles := run(workers, pooled)
+			if instr != wantInstr || cycles != wantCycles {
+				t.Fatalf("workers=%d pooled=%v: counters diverged: %d/%d instructions, %d/%d cycles",
+					workers, pooled, instr, wantInstr, cycles, wantCycles)
+			}
+			if len(out) != len(wantOut) {
+				t.Fatalf("workers=%d pooled=%v: output size diverged", workers, pooled)
+			}
+			for i := range out {
+				if out[i] != wantOut[i] {
+					t.Fatalf("workers=%d pooled=%v: output[%d] = %g, want %g", workers, pooled, i, out[i], wantOut[i])
+				}
+			}
 		}
 	}
 }

@@ -21,7 +21,7 @@ type Layer interface {
 	// Name identifies the layer.
 	Name() string
 	// Forward runs the layer on the input activation tensor.
-	Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error)
+	Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error)
 	// ParamCount returns the number of trainable parameters, which drives
 	// the parameter-server traffic and the update cost.
 	ParamCount() int
@@ -52,8 +52,8 @@ func (c *Conv) Name() string { return c.Label }
 func (c *Conv) ParamCount() int { return c.Filters.Size() }
 
 // Forward implements Layer.
-func (c *Conv) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
-	return aimotif.Conv2D(ex, regs, in, c.Filters, aimotif.ConvConfig{Stride: c.Stride, Padding: c.Padding})
+func (c *Conv) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Conv2D(ex, sess, in, c.Filters, aimotif.ConvConfig{Stride: c.Stride, Padding: c.Padding})
 }
 
 // Pool is a pooling layer.
@@ -71,7 +71,7 @@ func (p *Pool) Name() string { return p.Label }
 func (p *Pool) ParamCount() int { return 0 }
 
 // Forward implements Layer.
-func (p *Pool) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func (p *Pool) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	window, stride := p.Window, p.Stride
 	// Clamp the window to the incoming spatial size so deep stacks on small
 	// inputs (CIFAR-scale) remain valid.
@@ -83,7 +83,7 @@ func (p *Pool) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (
 			window = w
 		}
 	}
-	return aimotif.Pool2D(ex, regs, in, p.Kind, window, stride)
+	return aimotif.Pool2D(ex, sess, in, p.Kind, window, stride)
 }
 
 // Dense is a fully connected layer; it flattens its input automatically.
@@ -113,12 +113,12 @@ func (d *Dense) Name() string { return d.Label }
 func (d *Dense) ParamCount() int { return d.Weights.Size() + d.Bias.Size() }
 
 // Forward implements Layer.
-func (d *Dense) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func (d *Dense) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	flat := in
 	if in.Rank() != 2 {
 		n := in.Dim(0)
 		var err error
-		flat, err = in.Reshape(n, in.Size()/n)
+		flat, err = sess.ViewRows(in, n, in.Size()/n)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +126,11 @@ func (d *Dense) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) 
 	if flat.Dim(1) != d.inDim {
 		return nil, fmt.Errorf("dataflow: dense layer %s expects %d inputs, got %d", d.Label, d.inDim, flat.Dim(1))
 	}
-	return aimotif.FullyConnected(ex, regs, flat, d.Weights, d.Bias)
+	out, err := aimotif.FullyConnected(ex, sess, flat, d.Weights, d.Bias)
+	if flat != in {
+		sess.Release(flat)
+	}
+	return out, err
 }
 
 // Activation applies ReLU/sigmoid/tanh element-wise.
@@ -142,8 +146,8 @@ func (a *Activation) Name() string { return a.Label }
 func (a *Activation) ParamCount() int { return 0 }
 
 // Forward implements Layer.
-func (a *Activation) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
-	return aimotif.Activate(ex, regs, in, a.Act), nil
+func (a *Activation) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Activate(ex, sess, in, a.Act), nil
 }
 
 // BatchNorm normalises activations per channel.
@@ -156,11 +160,11 @@ func (b *BatchNorm) Name() string { return b.Label }
 func (b *BatchNorm) ParamCount() int { return 0 }
 
 // Forward implements Layer.
-func (b *BatchNorm) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func (b *BatchNorm) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	if in.Rank() != 4 {
-		return aimotif.CosineNorm(ex, regs, in)
+		return aimotif.CosineNorm(ex, sess, in)
 	}
-	return aimotif.BatchNorm(ex, regs, in)
+	return aimotif.BatchNorm(ex, sess, in)
 }
 
 // Dropout randomly zeroes activations.
@@ -177,8 +181,8 @@ func (d *Dropout) Name() string { return d.Label }
 func (d *Dropout) ParamCount() int { return 0 }
 
 // Forward implements Layer.
-func (d *Dropout) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
-	return aimotif.Dropout(ex, regs, in, d.Rate, d.Seed)
+func (d *Dropout) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return aimotif.Dropout(ex, sess, in, d.Rate, d.Seed)
 }
 
 // Softmax converts class scores into probabilities.
@@ -191,17 +195,21 @@ func (s *Softmax) Name() string { return s.Label }
 func (s *Softmax) ParamCount() int { return 0 }
 
 // Forward implements Layer.
-func (s *Softmax) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+func (s *Softmax) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	flat := in
 	if in.Rank() != 2 {
 		n := in.Dim(0)
 		var err error
-		flat, err = in.Reshape(n, in.Size()/n)
+		flat, err = sess.ViewRows(in, n, in.Size()/n)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return aimotif.Softmax(ex, regs, flat)
+	out, err := aimotif.Softmax(ex, sess, flat)
+	if flat != in {
+		sess.Release(flat)
+	}
+	return out, err
 }
 
 // Inception is a simplified Inception module: parallel branches whose
@@ -228,24 +236,43 @@ func (m *Inception) ParamCount() int {
 
 // Forward implements Layer: every branch processes the same input; the
 // branch outputs are concatenated along channels (they must agree on N, H,
-// W).
-func (m *Inception) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+// W).  Branch intermediates are released as the branch progresses, and the
+// branch outputs themselves right after the concatenation copies them.
+func (m *Inception) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	var outs []*tensor.Tensor
+	releaseOuts := func() {
+		for _, t := range outs {
+			if t != in {
+				sess.Release(t)
+			}
+		}
+	}
 	for _, branch := range m.Branches {
 		cur := in
-		var err error
 		for _, l := range branch {
-			cur, err = l.Forward(ex, regs, cur)
+			next, err := l.Forward(ex, sess, cur)
 			if err != nil {
+				// Keep the session bounded on failure: drop the erroring
+				// branch's intermediate and the completed branch outputs.
+				if cur != in {
+					sess.Release(cur)
+				}
+				releaseOuts()
 				return nil, fmt.Errorf("dataflow: %s/%s: %w", m.Label, l.Name(), err)
 			}
+			if cur != in {
+				sess.Release(cur)
+			}
+			cur = next
 		}
 		outs = append(outs, cur)
 	}
-	return concatChannels(outs)
+	out, err := concatChannels(sess, outs)
+	releaseOuts()
+	return out, err
 }
 
-func concatChannels(ts []*tensor.Tensor) (*tensor.Tensor, error) {
+func concatChannels(sess *aimotif.Session, ts []*tensor.Tensor) (*tensor.Tensor, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("dataflow: concat of zero tensors")
 	}
@@ -257,7 +284,7 @@ func concatChannels(ts []*tensor.Tensor) (*tensor.Tensor, error) {
 		}
 		totalC += t.Dim(1)
 	}
-	out := tensor.New(n, totalC, h, w)
+	out := sess.NewTensor(n, totalC, h, w)
 	plane := h * w
 	// Each batch element copies into a disjoint slice of the output, so the
 	// concatenation parallelises on the worker pool.

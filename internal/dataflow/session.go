@@ -25,14 +25,27 @@ func (n *Network) ParamCount() int {
 }
 
 // Forward runs the full network on a batch, returning the output tensor.
-func (n *Network) Forward(ex *sim.Exec, regs *aimotif.Regions, in *tensor.Tensor) (*tensor.Tensor, error) {
+// Intermediate activations — every layer output except the caller's input
+// and the returned tensor — are released back to the session as soon as the
+// next layer has consumed them, so a session with an arena runs the whole
+// forward pass without allocating in steady state.  The caller owns the
+// returned tensor and releases it when done.
+func (n *Network) Forward(ex *sim.Exec, sess *aimotif.Session, in *tensor.Tensor) (*tensor.Tensor, error) {
 	cur := in
-	var err error
 	for _, l := range n.Layers {
-		cur, err = l.Forward(ex, regs, cur)
+		next, err := l.Forward(ex, sess, cur)
 		if err != nil {
+			// Release the in-flight intermediate too: a session must stay
+			// bounded even when callers keep using it after failed steps.
+			if cur != in {
+				sess.Release(cur)
+			}
 			return nil, fmt.Errorf("dataflow: %s/%s: %w", n.Name, l.Name(), err)
 		}
+		if cur != in {
+			sess.Release(cur)
+		}
+		cur = next
 	}
 	return cur, nil
 }
@@ -158,9 +171,9 @@ func Train(cluster *sim.Cluster, net *Network, cfg SessionConfig) (Result, error
 		w := w
 		tasks[w] = sim.Task{Node: -1, Scale: scale, Fn: func(ex *sim.Exec) {
 			ex.SetCodeFootprint(tensorflowCodeFootprintBytes, tensorflowJumpsPer1k)
-			regs := aimotif.NewRegions()
+			sess := aimotif.NewSession()
 			for step := 0; step < sampleSteps; step++ {
-				loss, err := runStep(ex, regs, net, cfg, int64(w*1000+step), paramBytes, cfg.BackwardCostFactor)
+				loss, err := runStep(ex, sess, net, cfg, int64(w*1000+step), paramBytes, cfg.BackwardCostFactor)
 				if err != nil {
 					errs[w] = err
 					return
@@ -197,8 +210,11 @@ func Train(cluster *sim.Cluster, net *Network, cfg SessionConfig) (Result, error
 }
 
 // runStep executes one sampled training step: read a batch, forward pass,
-// modelled backward pass, gradient exchange with the parameter server.
-func runStep(ex *sim.Exec, regs *aimotif.Regions, net *Network, cfg SessionConfig, seed int64, paramBytes uint64, backward float64) (float64, error) {
+// modelled backward pass, gradient exchange with the parameter server.  The
+// step's batch and output are released back to the session before it
+// returns, so the session's region cache stays bounded by the network size
+// however many steps a long-lived server runs.
+func runStep(ex *sim.Exec, sess *aimotif.Session, net *Network, cfg SessionConfig, seed int64, paramBytes uint64, backward float64) (float64, error) {
 	imgCfg := cfg.Input
 	imgCfg.Count = cfg.SampleBatch
 	imgCfg.Seed = seed
@@ -212,7 +228,7 @@ func runStep(ex *sim.Exec, regs *aimotif.Regions, net *Network, cfg SessionConfi
 	ex.ReadDisk(uint64(cfg.SampleBatch) * uint64(imgCfg.PixelsPerImage()))
 	ex.Int(uint64(batch.Size()) * 2)
 
-	out, err := net.Forward(ex, regs, batch)
+	out, err := net.Forward(ex, sess, batch)
 	if err != nil {
 		return 0, err
 	}
@@ -231,7 +247,10 @@ func runStep(ex *sim.Exec, regs *aimotif.Regions, net *Network, cfg SessionConfi
 	// Cross-entropy-style loss over the output (softmax if the last layer
 	// was not one already).
 	labels := datagen.Labels(seed, cfg.SampleBatch, 10)
-	return crossEntropy(out, labels), nil
+	loss := crossEntropy(out, labels)
+	sess.Release(out)
+	sess.Release(batch)
+	return loss, nil
 }
 
 // crossEntropy computes a simple negative-log-likelihood style loss over the

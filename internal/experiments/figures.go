@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
@@ -264,10 +263,12 @@ func (s *Suite) Figure8() (Figure8Result, error) {
 	if err != nil {
 		return Figure8Result{}, err
 	}
-	cluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	pool, err := s.proxyPool(fiveNodeWestmere)
 	if err != nil {
 		return Figure8Result{}, err
 	}
+	cluster := pool.Get()
+	defer pool.Put(cluster)
 	proxDense, err := core.Run(cluster, b, setting)
 	if err != nil {
 		return Figure8Result{}, err

@@ -57,6 +57,12 @@ type Suite struct {
 
 	settingsMu sync.Mutex
 	settings   map[string]*settingEntry
+
+	// proxyPools recycles the single-node proxy clusters per processor
+	// generation, so regenerating many tables and tuning runs stops
+	// allocating a fresh cluster per measurement.
+	poolsMu    sync.Mutex
+	proxyPools map[string]*sim.ClusterPool
 }
 
 // NewSuite returns an empty suite.
@@ -133,6 +139,27 @@ func proxyProfile(key clusterKey) arch.Profile {
 	return arch.Westmere()
 }
 
+// proxyPool returns (building it on first use) the cluster pool for proxy
+// measurements on the given cluster key's processor generation.
+func (s *Suite) proxyPool(key clusterKey) (*sim.ClusterPool, error) {
+	profile := proxyProfile(key)
+	s.poolsMu.Lock()
+	defer s.poolsMu.Unlock()
+	if s.proxyPools == nil {
+		s.proxyPools = make(map[string]*sim.ClusterPool)
+	}
+	if p, ok := s.proxyPools[profile.Name]; ok {
+		return p, nil
+	}
+	proto, err := sim.NewCluster(sim.SingleNode(profile, 0))
+	if err != nil {
+		return nil, err
+	}
+	p := sim.NewClusterPool(proto)
+	s.proxyPools[profile.Name] = p
+	return p, nil
+}
+
 func (s *Suite) workloadSet(key clusterKey) []workloads.Spec {
 	if s.Short {
 		if key == fiveNodeWestmere {
@@ -197,10 +224,12 @@ func (s *Suite) proxyReport(short string, key clusterKey) (sim.Report, error) {
 		if err != nil {
 			return sim.Report{}, err
 		}
-		cluster, err := sim.NewCluster(sim.SingleNode(proxyProfile(key), 0))
+		pool, err := s.proxyPool(key)
 		if err != nil {
 			return sim.Report{}, err
 		}
+		cluster := pool.Get()
+		defer pool.Put(cluster)
 		return core.Run(cluster, b, setting)
 	})
 }
@@ -264,11 +293,14 @@ func (s *Suite) tuneSetting(short string, b *core.Benchmark) (core.Setting, erro
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	// The tuner only reads its prototype (every evaluation runs on a pooled
+	// clone of its own), so it borrows the suite's Westmere proxy pool
+	// prototype instead of building a cluster per tune.
+	pool, err := s.proxyPool(fiveNodeWestmere)
 	if err != nil {
 		return nil, err
 	}
-	res, err := tuner.Tune(cluster, b, target.Metrics, s.TuneOptions)
+	res, err := tuner.Tune(pool.Proto(), b, target.Metrics, s.TuneOptions)
 	if err != nil {
 		return nil, err
 	}

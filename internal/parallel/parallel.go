@@ -60,6 +60,25 @@ func SetWorkers(n int) int {
 	return prev.workers
 }
 
+// Runner is a chunk of parallel work dispatched by ForRunner.  Hot kernels
+// implement it on a long-lived struct (typically scratch state owned by a
+// measurement session) so dispatching a parallel region costs zero
+// allocations: a closure passed to For escapes to the heap at every call
+// site because helper goroutines may capture it, whereas a *T Runner is a
+// pointer that already lives on the heap.
+type Runner interface {
+	// Run processes items [lo, hi); chunks are disjoint and cover the
+	// dispatched range exactly, so implementations that write only to
+	// outputs derived from [lo, hi) are race-free.
+	Run(lo, hi int)
+}
+
+// funcRunner adapts a closure to Runner for For.
+type funcRunner func(lo, hi int)
+
+// Run implements Runner.
+func (f funcRunner) Run(lo, hi int) { f(lo, hi) }
+
 // For partitions [0, n) into contiguous chunks of at least minGrain items
 // and runs fn(lo, hi) on each chunk, using up to Workers() goroutines
 // (including the caller).  It returns when every chunk has completed.  A
@@ -69,7 +88,18 @@ func SetWorkers(n int) int {
 // Chunks are disjoint, cover [0, n) exactly, and are handed out in index
 // order, so callers that write only to out[lo:hi] are race-free and produce
 // output independent of the worker count.
+//
+// The fn closure escapes to the heap on every call; allocation-free hot
+// paths use ForRunner instead.
 func For(n, minGrain int, fn func(lo, hi int)) {
+	ForRunner(n, minGrain, funcRunner(fn))
+}
+
+// ForRunner is For with the work expressed as a reusable Runner instead of
+// a closure.  Passing a pointer-typed Runner whose value outlives the call
+// (session scratch state) keeps the dispatch allocation-free, which is what
+// the zero-alloc steady-state benchmarks of the measurement path gate on.
+func ForRunner(n, minGrain int, r Runner) {
 	if n <= 0 {
 		return
 	}
@@ -82,51 +112,80 @@ func For(n, minGrain int, fn func(lo, hi int)) {
 		chunks = byGrain
 	}
 	if chunks <= 1 {
-		fn(0, n)
+		r.Run(0, n)
 		return
 	}
 
-	var next int64
-	var panicked atomic.Pointer[recovered]
-	work := func() {
-		for {
-			i := int(atomic.AddInt64(&next, 1)) - 1
-			if i >= chunks {
-				return
-			}
-			lo, hi := i*n/chunks, (i+1)*n/chunks
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						panicked.CompareAndSwap(nil, &recovered{r})
-					}
-				}()
-				fn(lo, hi)
-			}()
-		}
-	}
-
-	var wg sync.WaitGroup
+	j := jobPool.Get().(*forJob)
+	j.r, j.n, j.chunks, j.p = r, n, chunks, p
+	j.next = 0
+	j.panicked.Store(nil)
 recruit:
 	for helpers := 0; helpers < chunks-1; helpers++ {
 		select {
 		case <-p.tokens:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { p.tokens <- struct{}{} }()
-				work()
-			}()
+			j.wg.Add(1)
+			go j.helper()
 		default:
 			break recruit // no spare capacity; the caller runs the rest inline
 		}
 	}
-	work()
-	wg.Wait()
-	if r := panicked.Load(); r != nil {
-		panic(r.value)
+	j.work()
+	j.wg.Wait()
+	rec := j.panicked.Load()
+	j.r, j.p = nil, nil
+	jobPool.Put(j)
+	if rec != nil {
+		panic(rec.value)
 	}
 }
+
+// jobPool recycles the per-call dispatch state of ForRunner's parallel
+// path; after wg.Wait no helper references the job any more, so it can be
+// reused by the next call without a fresh heap allocation.
+var jobPool = sync.Pool{New: func() any { return new(forJob) }}
+
+// forJob is the shared state of one ForRunner dispatch: the runner, the
+// chunk cursor, the first recovered panic, and the helper bookkeeping.
+type forJob struct {
+	r         Runner
+	n, chunks int
+	next      int64
+	panicked  atomic.Pointer[recovered]
+	wg        sync.WaitGroup
+	p         *poolState
+}
+
+// work claims chunks off the shared cursor until none remain.
+func (j *forJob) work() {
+	for {
+		i := int(atomic.AddInt64(&j.next, 1)) - 1
+		if i >= j.chunks {
+			return
+		}
+		j.runChunk(i*j.n/j.chunks, (i+1)*j.n/j.chunks)
+	}
+}
+
+// runChunk runs one chunk, recording (not propagating) a panic so the
+// remaining chunks still complete and the caller re-raises afterwards.
+func (j *forJob) runChunk(lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked.CompareAndSwap(nil, &recovered{r})
+		}
+	}()
+	j.r.Run(lo, hi)
+}
+
+// helper is the body of one recruited helper goroutine.
+func (j *forJob) helper() {
+	defer j.wg.Done()
+	defer j.releaseToken()
+	j.work()
+}
+
+func (j *forJob) releaseToken() { j.p.tokens <- struct{}{} }
 
 type recovered struct{ value any }
 

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"dataproxy/internal/arch"
+	"dataproxy/internal/core"
+	"dataproxy/internal/proxy"
+	"dataproxy/internal/sim"
+)
+
+// BenchmarkServeRun measures the in-process scheduler round-trip of a
+// repeated /v1/run request: key construction against the prototype's cached
+// fingerprint, the byte-wise cache lookup, and the metric copy out.  This
+// is the serving layer's steady state — clients re-query known settings far
+// more often than they invent new ones — and it must stay allocation-free,
+// which the bench gate enforces via the committed baseline.
+func BenchmarkServeRun(b *testing.B) {
+	proto, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
+	bench, err := proxy.ForWorkload("terasort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	setting := core.DefaultSetting()
+	ctx := context.Background()
+
+	// First round-trip executes the simulation and fills the cache.
+	if _, _, err := sc.run(ctx, "westmere", bench, setting); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, coalesced, err := sc.run(ctx, "westmere", bench, setting)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !coalesced || m.Runtime == 0 {
+			b.Fatal("steady-state request should be served from the cache")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"dataproxy/internal/core"
@@ -47,9 +48,15 @@ type scheduler struct {
 	memo            atomic.Pointer[tuner.Memo]
 	maxCacheEntries int
 	// protos maps the architecture short name to the prototype single-node
-	// cluster every execution clones (the paper runs each proxy benchmark on
-	// a single slave node).
+	// cluster (the paper runs each proxy benchmark on a single slave node);
+	// pools recycles reset clones of each prototype so a steady stream of
+	// requests stops allocating one cluster per execution.
 	protos map[string]*sim.Cluster
+	pools  map[string]*sim.ClusterPool
+
+	// keyBufs recycles the scratch buffers cache keys are built in, so a
+	// cache-answered request allocates nothing at all.
+	keyBufs sync.Pool
 
 	// runFn performs one simulation; tests replace it to control timing.
 	runFn func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error)
@@ -60,12 +67,17 @@ type scheduler struct {
 }
 
 func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[string]*sim.Cluster) *scheduler {
+	pools := make(map[string]*sim.ClusterPool, len(protos))
+	for name, proto := range protos {
+		pools[name] = sim.NewClusterPool(proto)
+	}
 	sc := &scheduler{
 		maxInFlight:     maxInFlight,
 		queueDepth:      queueDepth,
 		slots:           make(chan struct{}, maxInFlight),
 		maxCacheEntries: maxCacheEntries,
 		protos:          protos,
+		pools:           pools,
 		runFn: func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error) {
 			rep, err := core.Run(cluster, b, s)
 			if err != nil {
@@ -74,6 +86,7 @@ func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[strin
 			return rep.Metrics, nil
 		},
 	}
+	sc.keyBufs.New = func() any { b := make([]byte, 0, 512); return &b }
 	sc.memo.Store(tuner.NewMemo())
 	return sc
 }
@@ -100,28 +113,50 @@ func (sc *scheduler) proto(archName string) (*sim.Cluster, error) {
 	return c, nil
 }
 
+// pool returns the cluster pool for an architecture short name; tune jobs
+// borrow it so they recycle the same clusters as /v1/run executions.
+func (sc *scheduler) pool(archName string) (*sim.ClusterPool, error) {
+	p := sc.pools[archName]
+	if p == nil {
+		return nil, fmt.Errorf("serve: unknown architecture %q", archName)
+	}
+	return p, nil
+}
+
 // run executes benchmark b under setting s on the named architecture,
 // returning the metric vector and whether the result was coalesced with a
 // previous or concurrent identical request.  Completed results are answered
-// straight from the cache with no admission; a cache miss must pass
-// admission before it may execute (or block on an in-flight twin).
+// straight from the cache with no admission — and with zero allocations:
+// the key is built into a pooled scratch buffer against the prototype's
+// cached fingerprint and looked up byte-wise.  A cache miss materialises
+// the key string, passes admission, and executes on a pooled cluster (or
+// blocks on an in-flight twin).
 func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark, s core.Setting) (perf.Metrics, bool, error) {
 	proto, err := sc.proto(archName)
 	if err != nil {
 		return perf.Metrics{}, false, err
 	}
-	key := tuner.MemoKey(proto, b, s)
+	buf := sc.keyBufs.Get().(*[]byte)
+	keyBytes := tuner.AppendMemoKey((*buf)[:0], proto, b, s)
 	memo := sc.currentMemo()
-	if m, ok, err := memo.Peek(key); ok {
+	if m, ok, err := memo.PeekBytes(keyBytes); ok {
+		*buf = keyBytes
+		sc.keyBufs.Put(buf)
 		sc.coalesced.Add(1)
 		return m, true, err
 	}
+	key := string(keyBytes)
+	*buf = keyBytes
+	sc.keyBufs.Put(buf)
 	if err := sc.acquire(ctx); err != nil {
 		return perf.Metrics{}, false, err
 	}
 	defer sc.release()
+	pool := sc.pools[archName]
 	m, fresh, err := memo.Measure(key, func() (perf.Metrics, error) {
-		return sc.runFn(proto.Clone(), b, s)
+		cluster := pool.Get()
+		defer pool.Put(cluster)
+		return sc.runFn(cluster, b, s)
 	})
 	if fresh {
 		sc.executed.Add(1)

@@ -194,31 +194,35 @@ func TestRunCoalescesAndIsDeterministic(t *testing.T) {
 
 // TestRunMatchesDirectExecution pins the serving path to the library path:
 // the metric vector served by /v1/run equals a direct core.Run of the same
-// benchmark and setting on a fresh single-node cluster.
+// benchmark and setting on a fresh single-node cluster.  The second,
+// distinct setting necessarily executes on a recycled cluster from the
+// scheduler's pool (sequential requests drain and refill it), so it also
+// pins pooled re-execution to fresh-cluster execution.
 func TestRunMatchesDirectExecution(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	setting := core.Setting{"dataSize": 0.8}
-	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "kmeans", Setting: setting})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d body %s", resp.StatusCode, body)
-	}
-	served := runMetricsJSON(t, body)
+	for _, setting := range []core.Setting{{"dataSize": 0.8}, {"dataSize": 1.4, "numTasks": 0.5}} {
+		resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "kmeans", Setting: setting})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d body %s", resp.StatusCode, body)
+		}
+		served := runMetricsJSON(t, body)
 
-	b, err := proxy.ForWorkload("kmeans")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cluster := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
-	rep, err := core.Run(cluster, b, setting)
-	if err != nil {
-		t.Fatal(err)
-	}
-	direct, err := json.Marshal(rep.Metrics)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if served != string(direct) {
-		t.Fatalf("served metrics diverge from direct execution:\n%s\nvs\n%s", served, direct)
+		b, err := proxy.ForWorkload("kmeans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+		rep, err := core.Run(cluster, b, setting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := json.Marshal(rep.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served != string(direct) {
+			t.Fatalf("setting %v: served metrics diverge from direct execution:\n%s\nvs\n%s", setting, served, direct)
+		}
 	}
 }
 

@@ -11,8 +11,9 @@
 // pool (the scheduler itself adds no goroutines beyond one long-lived job
 // dispatcher), identical /v1/run requests coalesce through a singleflight
 // tuner.Memo keyed bit-exactly like the auto-tuner's measurement memo, each
-// execution runs on its own sim.Cluster.Clone(), and a bounded admission
-// queue sheds overload with 429s instead of oversubscribing the host.
+// execution runs on an isolated cluster drawn from a per-architecture
+// sim.ClusterPool, and a bounded admission queue sheds overload with 429s
+// instead of oversubscribing the host.
 package serve
 
 import (
@@ -431,12 +432,16 @@ func (s *Server) executeTune(req TuneRequest) (*TuneResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	profile := arch.Profiles()[req.Arch]
 	target, err := s.resolveTarget(req)
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := sim.NewCluster(sim.SingleNode(profile, 0))
+	// The tuner shares the scheduler's per-arch cluster pool: its prototype
+	// is only ever read (every evaluation runs on a pooled clone), sharing
+	// the exact prototype keeps the tuner's memo keys byte-identical to the
+	// /v1/run keys so the two paths coalesce, and repeated tune jobs reuse
+	// the same recycled clusters instead of re-cloning per job.
+	pool, err := s.sched.pool(req.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +453,7 @@ func (s *Server) executeTune(req TuneRequest) (*TuneResult, error) {
 		ImpactFactors: req.ImpactFactors,
 	}
 	memo := s.sched.currentMemo()
-	res, err := tuner.TuneWithMemo(cluster, b, target, opts, memo)
+	res, err := tuner.TuneWithPool(pool, b, target, opts, memo)
 	s.sched.maybeEvict(memo)
 	if err != nil {
 		return nil, err

@@ -31,10 +31,11 @@ type StageResult struct {
 
 // Cluster is a simulated deployment of Nodes sharing a virtual clock.
 type Cluster struct {
-	cfg     ClusterConfig
-	nodes   []*Node
-	elapsed float64
-	stages  []StageResult
+	cfg         ClusterConfig
+	fingerprint string
+	nodes       []*Node
+	elapsed     float64
+	stages      []StageResult
 }
 
 // NewCluster builds a cluster from its configuration.
@@ -43,7 +44,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, fingerprint: fmt.Sprintf("%+v", cfg)}
 	for i := 0; i < cfg.Nodes; i++ {
 		m, err := arch.NewMachine(cfg.Profile)
 		if err != nil {
@@ -66,6 +67,13 @@ func MustNewCluster(cfg ClusterConfig) *Cluster {
 
 // Config returns the cluster configuration (with defaults filled in).
 func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// Fingerprint returns the deterministic string form of the cluster's full
+// configuration, computed once at construction.  It is what the measurement
+// memo keys embed: the configuration is immutable after NewCluster, so
+// callers on the serving hot path can append the cached string instead of
+// re-formatting the whole config per request.
+func (c *Cluster) Fingerprint() string { return c.fingerprint }
 
 // Clone returns an independent cluster with the same configuration in its
 // reset state (fresh nodes, zero elapsed time, no recorded stages).  Because
@@ -111,11 +119,16 @@ func (c *Cluster) AdvanceTime(name string, seconds float64) {
 	c.stages = append(c.stages, StageResult{Name: name, Seconds: seconds})
 }
 
-// Reset restores the cluster to its initial state: zero elapsed time, fresh
-// nodes and no recorded stages.
+// Reset restores the cluster to its construction state: zero elapsed time,
+// reset nodes (counters cleared, address allocators rewound, cache slabs
+// zeroed, branch predictors and LRU clocks back to their initial values) and
+// no recorded stages.  A reset cluster behaves bit-identically to a fresh
+// Clone — the ClusterPool property tests enforce this — while keeping every
+// allocation (cache line slabs, predictor tables, node structs) alive for
+// reuse; only the stage-result slice is truncated in place.
 func (c *Cluster) Reset() {
 	c.elapsed = 0
-	c.stages = nil
+	c.stages = c.stages[:0]
 	for _, n := range c.nodes {
 		n.Reset()
 	}

@@ -1,0 +1,91 @@
+package sim
+
+import "sync"
+
+// maxPooledClusters bounds a pool's free list.  Concurrent users are
+// bounded by the admission policies of the layers above (the serve
+// scheduler's in-flight slots, the parallel token pool), so a generous
+// fixed cap only guards against pathological Put storms.
+const maxPooledClusters = 64
+
+// ClusterPool recycles clones of a prototype cluster across measurement
+// sessions.  The steady-state measurement path — every auto-tuner
+// evaluation, experiments table cell and /v1/run request — needs an
+// isolated cluster per simulation; building one from scratch re-allocates
+// every cache-line slab and branch-predictor table of every node.  A pool
+// resets instead of re-allocating: Get hands out a cluster in its
+// construction state (an existing clone rewound by Cluster.Reset, or a
+// fresh Clone when the free list is empty) and Put returns it for reuse.
+//
+// Correctness contract: a pooled cluster is bit-identical to a fresh
+// Clone().  Cluster.Reset restores construction state exactly — cache slabs
+// zeroed, LRU and branch clocks rewound, counters, address allocators and
+// stage records cleared — which the pool property tests verify on
+// randomized workload traces across the stock architecture profiles.
+//
+// All methods are safe for concurrent use; the pooled clusters themselves
+// are not (one simulation owns a cluster between Get and Put).
+type ClusterPool struct {
+	proto *Cluster
+	mu    sync.Mutex
+	free  []*Cluster
+}
+
+// NewClusterPool returns an empty pool cloning the given prototype.  The
+// prototype itself is never handed out, so callers may keep using it as a
+// read-only configuration reference (memo keys, validation) while the pool
+// is live.
+func NewClusterPool(proto *Cluster) *ClusterPool {
+	return &ClusterPool{proto: proto}
+}
+
+// Proto returns the pool's prototype cluster.
+func (p *ClusterPool) Proto() *Cluster { return p.proto }
+
+// Get returns a cluster in its construction state: a recycled clone when
+// one is free, a fresh Clone of the prototype otherwise.
+func (p *ClusterPool) Get() *Cluster {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	return p.proto.Clone()
+}
+
+// Put resets the cluster and returns it to the free list (dropping it when
+// the list is full, so a burst of returns cannot grow the pool without
+// bound; a dropped cluster skips the reset — there is no point rewinding
+// state the GC is about to collect).  The caller must not use the cluster
+// afterwards.
+func (p *ClusterPool) Put(c *Cluster) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	full := len(p.free) >= maxPooledClusters
+	p.mu.Unlock()
+	if full {
+		return
+	}
+	// Reset outside the lock: it touches every cache slab of every node and
+	// must not serialise concurrent Puts.  The re-check keeps the cap exact
+	// under racing returns (the loser's cluster is simply dropped).
+	c.Reset()
+	p.mu.Lock()
+	if len(p.free) < maxPooledClusters {
+		p.free = append(p.free, c)
+	}
+	p.mu.Unlock()
+}
+
+// Size returns the number of clusters currently sitting in the free list.
+func (p *ClusterPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,142 @@
+package tensor
+
+import "fmt"
+
+// Arena recycles tensor backing stores across the iterations of a
+// measurement session.  The steady state of a training or proxy step
+// allocates the same set of intermediate-activation shapes over and over;
+// routing those allocations through an Arena turns them into free-list pops
+// and a memclr, so a long-lived measurement loop stops churning the garbage
+// collector entirely.
+//
+// Free lists are keyed by the exact backing-store length: layer shapes come
+// from a fixed vocabulary, so exact-size buckets give perfect reuse with no
+// interior fragmentation.  Released view headers (tensors sharing another
+// tensor's storage) are pooled separately.
+//
+// Discipline: only transient intermediates go through an Arena.  Weights and
+// user-visible outputs must stay off-arena (plain New), because a Release
+// recycles the memory out from under every remaining reference.  Releasing
+// a tensor twice panics; releasing a tensor the arena does not own is a
+// no-op, so callers can release uniformly without tracking provenance.
+//
+// An Arena is not safe for concurrent use; sessions own one arena per
+// simulated task, mirroring how the region caches are scoped.
+type Arena struct {
+	free      map[int][]*Tensor
+	freeViews []*Tensor
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Tensor)}
+}
+
+// New returns a zeroed tensor of the given shape, reusing a released backing
+// store of the exact size when one is free.  A nil *Arena degrades to plain
+// New, so callers thread an optional arena without branching.
+func (a *Arena) New(shape ...int) *Tensor {
+	if a == nil {
+		return New(shape...)
+	}
+	size := sizeOf(shape)
+	if list := a.free[size]; len(list) > 0 {
+		t := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.free[size] = list[:len(list)-1]
+		t.released = false
+		t.shape = append(t.shape[:0], shape...)
+		t.id = nextID()
+		clear(t.data)
+		return t
+	}
+	t := New(shape...)
+	t.arena = a
+	return t
+}
+
+// recycledView pops a released view header and rebinds it to src's data
+// with a fresh ID, leaving the shape for the caller to set.  It returns nil
+// when no header is free.
+func (a *Arena) recycledView(src *Tensor) *Tensor {
+	n := len(a.freeViews)
+	if n == 0 {
+		return nil
+	}
+	v := a.freeViews[n-1]
+	a.freeViews[n-1] = nil
+	a.freeViews = a.freeViews[:n-1]
+	v.released = false
+	v.data = src.data
+	v.id = nextID()
+	return v
+}
+
+// newView builds a first-time view header owned by this arena.
+func (a *Arena) newView(src *Tensor, shape ...int) (*Tensor, error) {
+	v, err := src.Reshape(shape...)
+	if err != nil {
+		return nil, err
+	}
+	v.arena = a
+	return v, nil
+}
+
+// View returns a tensor sharing src's data under a new shape of equal
+// volume, reusing a released view header when one is free.  A nil *Arena
+// degrades to src.Reshape.  The view must be Released before src is: a view
+// holds no storage of its own, so recycling src's backing store invalidates
+// every view still referencing it.
+func (a *Arena) View(src *Tensor, shape ...int) (*Tensor, error) {
+	if a == nil {
+		return src.Reshape(shape...)
+	}
+	if size := sizeOf(shape); size != len(src.data) {
+		return nil, fmt.Errorf("tensor: cannot view %v (%d elements) as %v (%d)", src.shape, len(src.data), shape, size)
+	}
+	if v := a.recycledView(src); v != nil {
+		v.shape = append(v.shape[:0], shape...)
+		return v, nil
+	}
+	return a.newView(src, shape...)
+}
+
+// ViewRows is View specialised to the rank-2 (rows, cols) shape the dense
+// and softmax layers flatten to.  Taking the dimensions as plain ints keeps
+// a recycled-header view completely allocation-free: a variadic shape would
+// materialise a heap slice at every call site.
+func (a *Arena) ViewRows(src *Tensor, rows, cols int) (*Tensor, error) {
+	if a == nil {
+		return src.Reshape(rows, cols)
+	}
+	if rows < 0 || cols < 0 || rows*cols != len(src.data) {
+		return nil, fmt.Errorf("tensor: cannot view %v (%d elements) as [%d %d]", src.shape, len(src.data), rows, cols)
+	}
+	if v := a.recycledView(src); v != nil {
+		v.shape = append(v.shape[:0], rows, cols)
+		return v, nil
+	}
+	return a.newView(src, rows, cols)
+}
+
+// Release returns t's backing store (or, for a view, its header) to the
+// arena for reuse.  Releasing nil or a tensor this arena does not own is a
+// no-op — weights and caller-owned tensors flow through release points
+// unharmed — but releasing the same arena tensor twice panics: the second
+// caller would be recycling storage someone else may already have been
+// handed.
+func (a *Arena) Release(t *Tensor) {
+	if a == nil || t == nil || t.arena != a {
+		return
+	}
+	if t.released {
+		panic(fmt.Sprintf("tensor: double Release of arena tensor (shape %v, %d elements)", t.shape, len(t.data)))
+	}
+	t.released = true
+	if t.view {
+		t.data = nil
+		a.freeViews = append(a.freeViews, t)
+		return
+	}
+	a.free[len(t.data)] = append(a.free[len(t.data)], t)
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArenaReusesBackingStores(t *testing.T) {
+	a := NewArena()
+	x := a.New(4, 8)
+	x.Fill(3)
+	data := &x.Data()[0]
+	id := x.ID()
+	a.Release(x)
+
+	y := a.New(8, 4) // same volume, different shape: exact-size bucket hit
+	if &y.Data()[0] != data {
+		t.Fatal("arena should reuse the released backing store")
+	}
+	if y.ID() == id {
+		t.Fatal("a recycled tensor must get a fresh ID")
+	}
+	if y.Dim(0) != 8 || y.Dim(1) != 4 {
+		t.Fatalf("recycled tensor shape %v, want [8 4]", y.Shape())
+	}
+	for i, v := range y.Data() {
+		if v != 0 {
+			t.Fatalf("recycled tensor element %d = %g, want 0", i, v)
+		}
+	}
+
+	z := a.New(4, 8) // bucket empty again: fresh allocation
+	if &z.Data()[0] == data {
+		t.Fatal("simultaneous tensors must not share storage")
+	}
+}
+
+func TestArenaDoubleReleasePanics(t *testing.T) {
+	a := NewArena()
+	x := a.New(16)
+	a.Release(x)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Release should panic")
+		}
+		if !strings.Contains(r.(string), "double Release") {
+			t.Fatalf("panic message %q should name the double Release", r)
+		}
+	}()
+	a.Release(x)
+}
+
+func TestArenaIgnoresForeignTensors(t *testing.T) {
+	a := NewArena()
+	w := New(8) // off-arena (weights-style) tensor
+	a.Release(w)
+	a.Release(w) // no panic: the arena does not own it
+	if len(a.free[8]) != 0 {
+		t.Fatal("foreign tensors must not enter the free lists")
+	}
+	b := NewArena()
+	x := b.New(8)
+	a.Release(x) // wrong arena: no-op
+	if len(a.free[8]) != 0 || x.released {
+		t.Fatal("an arena must not accept another arena's tensors")
+	}
+}
+
+func TestArenaViews(t *testing.T) {
+	a := NewArena()
+	src := a.New(2, 6)
+	v, err := a.View(src, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v.Data()[0] != &src.Data()[0] {
+		t.Fatal("view should share the source's data")
+	}
+	if v.ID() == src.ID() {
+		t.Fatal("view should carry its own ID")
+	}
+	header := v
+	a.Release(v)
+	v2, err := a.View(src, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != header {
+		t.Fatal("released view headers should be recycled")
+	}
+	if _, err := a.View(src, 5, 5); err == nil {
+		t.Fatal("volume mismatch should be rejected")
+	}
+	// Double release of a view panics too.
+	a.Release(v2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Release of a view should panic")
+			}
+		}()
+		a.Release(v2)
+	}()
+}
+
+func TestNilArenaFallsBack(t *testing.T) {
+	var a *Arena
+	x := a.New(3, 3)
+	if x.Size() != 9 {
+		t.Fatalf("nil arena New size %d", x.Size())
+	}
+	v, err := a.View(x, 9)
+	if err != nil || v.Size() != 9 {
+		t.Fatalf("nil arena View: %v", err)
+	}
+	a.Release(x) // no-op
+}
+
+func TestTensorIDsAreUnique(t *testing.T) {
+	x := New(2)
+	y := x.Clone()
+	r, err := x.Reshape(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.ID() == y.ID() || x.ID() == r.ID() || y.ID() == r.ID() {
+		t.Fatalf("IDs should be unique: %d %d %d", x.ID(), y.ID(), r.ID())
+	}
+	d, err := FromData([]float32{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID() == 0 {
+		t.Fatal("FromData should stamp an ID")
+	}
+}

@@ -2,19 +2,44 @@
 // data motif implementations and the dataflow (TensorFlow-like) substrate.
 // Tensors are float32, stored contiguously in row-major order of their shape
 // (NCHW for image batches, as in the paper's AI motif parameterisation).
+//
+// Every tensor carries a process-unique ID assigned at logical creation
+// time (construction, cloning, reshaping, or being handed out by an Arena).
+// The simulation layers key their synthetic-address caches on that ID rather
+// than on the Go pointer, so recycling a backing store through an Arena is
+// indistinguishable — in the modelled address stream — from allocating a
+// fresh tensor.
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Tensor is a dense float32 tensor.
 type Tensor struct {
 	shape []int
 	data  []float32
+	id    uint64
+
+	// arena is non-nil when the tensor was handed out by an Arena (its
+	// backing store, or for views its header, returns there on Release).
+	arena *Arena
+	// view marks tensors that share another tensor's backing store.
+	view bool
+	// released marks tensors currently sitting in their arena's free list.
+	released bool
 }
 
-// New allocates a zero tensor with the given shape.  A zero-dimensional
-// tensor holds a single element.
-func New(shape ...int) *Tensor {
+// idCounter hands out process-unique tensor IDs.
+var idCounter atomic.Uint64
+
+func nextID() uint64 { return idCounter.Add(1) }
+
+// sizeOf returns the element count implied by a shape, panicking on negative
+// dimensions.  It is the single definition of the volume computation shared
+// by New, the Arena and the view constructors.
+func sizeOf(shape []int) int {
 	size := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -22,7 +47,20 @@ func New(shape ...int) *Tensor {
 		}
 		size *= d
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, size)}
+	return size
+}
+
+// wrap builds a tensor around data with a private copy of shape and a fresh
+// ID.  It is the single allocation helper behind New, FromData, Clone and
+// Reshape.
+func wrap(shape []int, data []float32) *Tensor {
+	return &Tensor{shape: append([]int(nil), shape...), data: data, id: nextID()}
+}
+
+// New allocates a zero tensor with the given shape.  A zero-dimensional
+// tensor holds a single element.
+func New(shape ...int) *Tensor {
+	return wrap(shape, make([]float32, sizeOf(shape)))
 }
 
 // FromData wraps existing data with a shape; the data length must match the
@@ -38,8 +76,20 @@ func FromData(data []float32, shape ...int) (*Tensor, error) {
 	if size != len(data) {
 		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (%d)", len(data), shape, size)
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}, nil
+	return wrap(shape, data), nil
 }
+
+// ID returns the tensor's process-unique identity.  A tensor keeps its ID
+// for its whole logical lifetime; an Arena stamps a fresh ID every time it
+// hands a recycled backing store out again.
+func (t *Tensor) ID() uint64 { return t.id }
+
+// Pooled reports whether the tensor belongs to an Arena.  Caches keyed on
+// the tensor header (such as the kernels' region cache) use it to decide
+// whether the header will come back with a fresh ID — in which case the
+// entry is kept and revalidated against the ID instead of being deleted,
+// keeping the cache's key set stable in steady state.
+func (t *Tensor) Pooled() bool { return t.arena != nil }
 
 // Shape returns the tensor's dimensions.
 func (t *Tensor) Shape() []int { return t.shape }
@@ -88,12 +138,14 @@ func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 	if size != len(t.data) {
 		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elements) to %v (%d)", t.shape, len(t.data), shape, size)
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: t.data}, nil
+	v := wrap(shape, t.data)
+	v.view = true
+	return v, nil
 }
 
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
-	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float32, len(t.data))}
+	c := wrap(t.shape, make([]float32, len(t.data)))
 	copy(c.data, t.data)
 	return c
 }

@@ -46,7 +46,21 @@ func NewMemo() *Memo {
 // simulation results, so two configurations must never alias in a shared
 // memo.
 func MemoKey(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) string {
-	return fmt.Sprintf("%s|%+v|%s", b.Name, cluster.Config(), s.Canonical())
+	return string(AppendMemoKey(nil, cluster, b, s))
+}
+
+// AppendMemoKey appends the memo key of one proxy measurement to dst and
+// returns the extended slice, byte-identical to MemoKey.  The cluster's
+// configuration fingerprint is cached at construction and the setting
+// renders through AppendCanonical, so building a key into a reused buffer
+// allocates nothing — which is what keeps a repeated, cache-answered
+// /v1/run request allocation-free end to end.
+func AppendMemoKey(dst []byte, cluster *sim.Cluster, b *core.Benchmark, s core.Setting) []byte {
+	dst = append(dst, b.Name...)
+	dst = append(dst, '|')
+	dst = append(dst, cluster.Fingerprint()...)
+	dst = append(dst, '|')
+	return s.AppendCanonical(dst)
 }
 
 // Measure returns the metrics for key, executing run only if the key has
@@ -91,6 +105,20 @@ func (m *Memo) Measure(key string, run func() (perf.Metrics, error)) (metrics pe
 func (m *Memo) Peek(key string) (metrics perf.Metrics, ok bool, err error) {
 	m.mu.Lock()
 	e := m.entries[key]
+	m.mu.Unlock()
+	if e == nil || !e.done.Load() {
+		return perf.Metrics{}, false, nil
+	}
+	return e.metrics, true, e.err
+}
+
+// PeekBytes is Peek with the key as a byte slice.  The lookup converts the
+// key in place (the compiler elides the string copy for a map index), so
+// answering a repeated request from the cache performs zero allocations;
+// only a miss that goes on to Measure pays for materialising the string.
+func (m *Memo) PeekBytes(key []byte) (metrics perf.Metrics, ok bool, err error) {
+	m.mu.Lock()
+	e := m.entries[string(key)]
 	m.mu.Unlock()
 	if e == nil || !e.done.Load() {
 		return perf.Metrics{}, false, nil

@@ -119,12 +119,15 @@ type Result struct {
 	MemoHits int
 }
 
-// evaluator measures proxy settings through a shared Memo, cloning the
-// prototype cluster for every executed simulation.  The counter fields are
-// owned by the tune's driving goroutine; parallel phases measure through
-// measureRaw and account for their fresh flags sequentially afterwards.
+// evaluator measures proxy settings through a shared Memo, drawing an
+// isolated cluster from a reset-don't-reallocate pool for every executed
+// simulation (concurrent evaluations each hold their own pooled cluster;
+// sequential evaluations keep reusing the same one).  The counter fields
+// are owned by the tune's driving goroutine; parallel phases measure
+// through measureRaw and account for their fresh flags sequentially
+// afterwards.
 type evaluator struct {
-	proto       *sim.Cluster
+	pool        *sim.ClusterPool
 	b           *core.Benchmark
 	memo        *Memo
 	evaluations int
@@ -134,8 +137,10 @@ type evaluator struct {
 // measureRaw evaluates one setting via the memo.  It is safe for concurrent
 // use; it does not touch the counters.
 func (ev *evaluator) measureRaw(s core.Setting) (perf.Metrics, bool, error) {
-	return ev.memo.Measure(MemoKey(ev.proto, ev.b, s), func() (perf.Metrics, error) {
-		rep, err := core.Run(ev.proto.Clone(), ev.b, s)
+	return ev.memo.Measure(MemoKey(ev.pool.Proto(), ev.b, s), func() (perf.Metrics, error) {
+		cluster := ev.pool.Get()
+		defer ev.pool.Put(cluster)
+		rep, err := core.Run(cluster, ev.b, s)
 		if err != nil {
 			return perf.Metrics{}, err
 		}
@@ -172,13 +177,22 @@ func Tune(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Opt
 // re-tune with a tighter threshold) share simulations.  The memo keys
 // include the benchmark, cluster and architecture profile, so sharing a memo
 // across different targets is always safe.
-func TuneWithMemo(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Options, memo *Memo) (res Result, err error) {
+func TuneWithMemo(cluster *sim.Cluster, b *core.Benchmark, target perf.Metrics, opts Options, memo *Memo) (Result, error) {
+	return TuneWithPool(sim.NewClusterPool(cluster), b, target, opts, memo)
+}
+
+// TuneWithPool is TuneWithMemo drawing every executed simulation from the
+// caller's cluster pool instead of a tune-scoped one, so a long-lived
+// service running tune after tune (the proxyd dispatcher) reuses the same
+// recycled clusters across jobs instead of re-cloning per tune.  The pool's
+// prototype is only ever read.
+func TuneWithPool(pool *sim.ClusterPool, b *core.Benchmark, target perf.Metrics, opts Options, memo *Memo) (res Result, err error) {
 	opts = opts.withDefaults()
 	if memo == nil {
 		memo = NewMemo()
 	}
 	res = Result{Setting: core.DefaultSetting()}
-	ev := &evaluator{proto: cluster, b: b, memo: memo}
+	ev := &evaluator{pool: pool, b: b, memo: memo}
 	defer func() {
 		res.Evaluations = ev.evaluations
 		res.MemoHits = ev.memoHits
