@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full bench bench-json bench-check cover lint lint-docs lint-links fmt
+.PHONY: build test test-full bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
 
 ## build: compile every package and command
 build:
@@ -69,8 +69,9 @@ cover:
 	$(GO) test -short -covermode=atomic -coverprofile=coverage.out ./...
 	sh scripts/coverage-gate.sh coverage.out
 
-## lint: gofmt cleanliness, go vet, godoc coverage and markdown links
-lint: lint-docs lint-links
+## lint: gofmt cleanliness, go vet, godoc coverage, markdown links and
+## Setting-literal parameter names
+lint: lint-docs lint-links lint-settings
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
@@ -84,6 +85,10 @@ lint-docs:
 ## lint-links: relative links in README/ROADMAP/docs resolve
 lint-links:
 	sh scripts/lint-links.sh
+
+## lint-settings: every core.Setting literal keys only core.ParameterNames
+lint-settings:
+	sh scripts/lint-settings.sh
 
 ## fmt: apply gofmt to the whole tree
 fmt:

@@ -4,15 +4,22 @@
 // Usage:
 //
 //	proxyrun -workload terasort [-arch westmere|haswell] [-datasize 2.0] [-numtasks 1.5]
+//	proxyrun -workload terasort -settings "dataSize=0.5;dataSize=1,numTasks=2;dataSize=2"
 //
 // The -datasize/-chunksize/-numtasks/-weight flags are multiplicative
-// factors over the proxy's base parameters (Table I).
+// factors over the proxy's base parameters (Table I).  -settings sweeps
+// several settings in one batched evaluation: entries are separated by ';',
+// each entry is a comma-separated list of name=factor pairs (an empty entry
+// selects the default setting), and all entries execute as one trace-sharing
+// core.RunBatch sweep instead of independent runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
@@ -30,6 +37,7 @@ func main() {
 	chunkSize := flag.Float64("chunksize", 1, "chunkSize factor")
 	numTasks := flag.Float64("numtasks", 1, "numTasks factor")
 	weight := flag.Float64("weight", 1, "weight factor")
+	settingsSpec := flag.String("settings", "", "batched sweep: ';'-separated settings, each 'name=factor,name=factor' (overrides the single-setting flags)")
 	flag.Parse()
 
 	b, err := proxy.ForWorkload(*workload)
@@ -44,6 +52,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *settingsSpec != "" {
+		settings, err := parseSettings(*settingsSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports, err := core.RunBatch(sim.NewClusterPool(cluster), b, settings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %s (%d settings, batched)\n", b.Name, profile.Name, len(settings))
+		for i, rep := range reports {
+			fmt.Printf("[%d] %s\n", i, formatSetting(settings[i]))
+			printReport(rep)
+		}
+		return
+	}
+
 	setting := core.Setting{
 		"dataSize":  *dataSize,
 		"chunkSize": *chunkSize,
@@ -56,6 +82,62 @@ func main() {
 	}
 
 	fmt.Printf("%s on %s\n", b.Name, profile.Name)
+	printReport(rep)
+}
+
+// parseSettings parses the -settings sweep spec: ';'-separated settings, each
+// a comma-separated list of name=factor pairs.  An empty entry is the default
+// setting.
+func parseSettings(spec string) ([]core.Setting, error) {
+	entries := strings.Split(spec, ";")
+	settings := make([]core.Setting, len(entries))
+	for i, entry := range entries {
+		s := core.Setting{}
+		for _, pair := range strings.Split(entry, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			name, value, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, fmt.Errorf("setting %d: %q is not name=factor", i, pair)
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+			if err != nil {
+				return nil, fmt.Errorf("setting %d: parsing %q: %v", i, pair, err)
+			}
+			s[strings.TrimSpace(name)] = f
+		}
+		if len(s) == 0 {
+			s = core.DefaultSetting()
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("setting %d: %v", i, err)
+		}
+		settings[i] = s
+	}
+	return settings, nil
+}
+
+// formatSetting renders a setting's non-default factors in the stable
+// core.ParameterNames order ("defaults" when every factor is 1).
+func formatSetting(s core.Setting) string {
+	var sb strings.Builder
+	for _, name := range core.ParameterNames {
+		if f := s.Get(name); f != 1 {
+			if sb.Len() > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%g", name, f)
+		}
+	}
+	if sb.Len() == 0 {
+		return "defaults"
+	}
+	return sb.String()
+}
+
+func printReport(rep sim.Report) {
 	fmt.Printf("  virtual runtime: %.2f s\n", rep.Runtime)
 	fmt.Printf("  instructions:    %d\n", rep.Aggregate.Instructions())
 	fmt.Println("  metric vector:")

@@ -13,6 +13,14 @@ import (
 // motif vocabulary as the big data proxies (Table III of the paper lists
 // convolution, fully connected, pooling, ReLU, softmax, dropout and batch
 // normalisation as the components of Proxy AlexNet and Proxy Inception-V3).
+//
+// Every Run function here obeys the batched-evaluation contract of
+// core.RunBatch: it is a deterministic function of the exec and the input
+// dataset alone, never of a setting's dataSize or weight factors (those enter
+// only as post-hoc counter extrapolation).  That is what lets a batched sweep
+// run each tiled conv/dense kernel ONCE per trace group — streaming every
+// weight cache line a single time — while sim.Batch scales the counters for
+// all K lockstep settings.
 func init() {
 	reg := func(name string, class motif.Class, desc string, fn func(ex *sim.Exec, in *motif.Dataset) *motif.Dataset) {
 		motif.Register(motif.Impl{Name: name, Class: class, Description: desc, Run: fn})

@@ -43,6 +43,12 @@ type Benchmark struct {
 	SampleBytes uint64
 	// Input generates the (sampled) source data set with the data type and
 	// distribution of the original workload's input.
+	//
+	// Contract (relied on by RunBatch): the generator derives the data set
+	// from seed, sampleBytes and the shape parameters of p only — it must
+	// not read p.DataSize or p.Weight.  Those two enter the simulation
+	// purely as extrapolation factors, which is what lets batched execution
+	// share one generated input across settings that differ only in them.
 	Input func(seed int64, sampleBytes uint64, p Params) *motif.Dataset
 	// Edges is the DAG.
 	Edges []Edge

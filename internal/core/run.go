@@ -33,13 +33,7 @@ func Run(cluster *sim.Cluster, b *Benchmark, setting Setting) (sim.Report, error
 	cluster.Reset()
 
 	p := b.Base.Apply(setting)
-	sampleBytes := b.SampleBytes
-	if sampleBytes == 0 {
-		sampleBytes = 4 << 20
-	}
-	if p.DataSize > 0 && sampleBytes > p.DataSize {
-		sampleBytes = p.DataSize
-	}
+	sampleBytes := b.effectiveSampleBytes(p)
 
 	// The proxy benchmark is pinned to one node.
 	node := 0
@@ -87,6 +81,20 @@ func Run(cluster *sim.Cluster, b *Benchmark, setting Setting) (sim.Report, error
 		datasets[e.To] = out
 	}
 	return cluster.Report(b.Name), nil
+}
+
+// effectiveSampleBytes resolves the sample volume actually generated for an
+// execution: the benchmark's SampleBytes (default 4 MiB) clamped to the
+// effective data size, so tiny configured inputs are never oversampled.
+func (b *Benchmark) effectiveSampleBytes(p Params) uint64 {
+	sampleBytes := b.SampleBytes
+	if sampleBytes == 0 {
+		sampleBytes = 4 << 20
+	}
+	if p.DataSize > 0 && sampleBytes > p.DataSize {
+		sampleBytes = p.DataSize
+	}
+	return sampleBytes
 }
 
 func (b *Benchmark) codeFootprint() uint64 {

@@ -28,8 +28,8 @@ type CrossArchRow struct {
 	Haswell  ArchAccuracy
 }
 
-func archAccuracy(realRep, proxRep sim.Report) ArchAccuracy {
-	rep := perf.CompareMetrics(realRep.Metrics, proxRep.Metrics, nil)
+func archAccuracy(realRep sim.Report, proxM perf.Metrics) ArchAccuracy {
+	rep := perf.CompareMetrics(realRep.Metrics, proxM, nil)
 	name, worst := rep.Worst()
 	return ArchAccuracy{Average: rep.Average(), WorstMetric: name, WorstAccuracy: worst}
 }
@@ -41,13 +41,14 @@ func archAccuracy(realRep, proxRep sim.Report) ArchAccuracy {
 func (s *Suite) TableCrossArch() ([]CrossArchRow, error) {
 	rows := make([]CrossArchRow, len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		var realWest, realHas, proxWest, proxHas sim.Report
+		var realWest, realHas sim.Report
+		var proxWest, proxHas perf.Metrics
 		errs := make([]error, 4)
 		parallel.Do(
 			func() { realWest, errs[0] = s.realReport(short, threeNodeWestmere) },
 			func() { realHas, errs[1] = s.realReport(short, threeNodeHaswell) },
-			func() { proxWest, errs[2] = s.proxyReport(short, threeNodeWestmere) },
-			func() { proxHas, errs[3] = s.proxyReport(short, threeNodeHaswell) },
+			func() { proxWest, errs[2] = s.proxyMetrics(short, threeNodeWestmere) },
+			func() { proxHas, errs[3] = s.proxyMetrics(short, threeNodeHaswell) },
 		)
 		for _, err := range errs {
 			if err != nil {

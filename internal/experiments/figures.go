@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"dataproxy/internal/core"
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
 	"dataproxy/internal/workloads"
 )
 
@@ -21,11 +21,11 @@ type AccuracyRow struct {
 func (s *Suite) accuracyRows(key clusterKey) ([]AccuracyRow, error) {
 	rows := make([]AccuracyRow, len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		realRep, proxRep, err := s.reportPair(short, key)
+		realRep, proxM, err := s.reportPair(short, key)
 		if err != nil {
 			return err
 		}
-		rep := perf.CompareMetrics(realRep.Metrics, proxRep.Metrics, nil)
+		rep := perf.CompareMetrics(realRep.Metrics, proxM, nil)
 		rows[i] = AccuracyRow{
 			Workload:  displayName(short),
 			PerMetric: rep.PerMetric,
@@ -92,12 +92,12 @@ func mixRow(name string, m perf.Metrics) MixRow {
 func (s *Suite) Figure5() ([]MixRow, error) {
 	rows := make([]MixRow, 2*len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		realRep, proxRep, err := s.reportPair(short, fiveNodeWestmere)
+		realRep, proxM, err := s.reportPair(short, fiveNodeWestmere)
 		if err != nil {
 			return err
 		}
 		rows[2*i] = mixRow("Hadoop/TF "+displayName(short), realRep.Metrics)
-		rows[2*i+1] = mixRow("Proxy "+displayName(short), proxRep.Metrics)
+		rows[2*i+1] = mixRow("Proxy "+displayName(short), proxM)
 		return nil
 	})
 	if err != nil {
@@ -135,14 +135,14 @@ type DiskRow struct {
 func (s *Suite) Figure6() ([]DiskRow, error) {
 	rows := make([]DiskRow, len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		realRep, proxRep, err := s.reportPair(short, fiveNodeWestmere)
+		realRep, proxM, err := s.reportPair(short, fiveNodeWestmere)
 		if err != nil {
 			return err
 		}
 		rows[i] = DiskRow{
 			Workload:  displayName(short),
 			RealMBps:  realRep.Metrics.DiskBW / 1e6,
-			ProxyMBps: proxRep.Metrics.DiskBW / 1e6,
+			ProxyMBps: proxM.DiskBW / 1e6,
 		}
 		return nil
 	})
@@ -240,12 +240,13 @@ type Figure8Result struct {
 // The two real measurements and the sparse proxy measurement are
 // independent, so they run concurrently on the worker pool.
 func (s *Suite) Figure8() (Figure8Result, error) {
-	var realSparse, proxSparse, realDense sim.Report
+	var realSparse, realDense sim.Report
+	var proxSparse perf.Metrics
 	var sparseErr, proxErr, denseErr error
 	parallel.Do(
 		// Sparse case: the regular Figure 4 measurement.
 		func() { realSparse, sparseErr = s.realReport("kmeans", fiveNodeWestmere) },
-		func() { proxSparse, proxErr = s.proxyReport("kmeans", fiveNodeWestmere) },
+		func() { proxSparse, proxErr = s.proxyMetrics("kmeans", fiveNodeWestmere) },
 		// Dense case input: the dense real workload.
 		func() { realDense, denseErr = s.realKMeansDense() },
 	)
@@ -254,10 +255,14 @@ func (s *Suite) Figure8() (Figure8Result, error) {
 			return Figure8Result{}, err
 		}
 	}
-	sparseRep := perf.CompareMetrics(realSparse.Metrics, proxSparse.Metrics, nil)
+	sparseRep := perf.CompareMetrics(realSparse.Metrics, proxSparse, nil)
 
 	// Dense case: the same proxy benchmark (same DAG, weights and setting),
-	// driven by dense input data, against the dense real workload.
+	// driven by dense input data, against the dense real workload.  The
+	// dense variant shares the sparse default's benchmark Name, so it must
+	// not share the suite's memo (the keys would alias the sparse results);
+	// a throwaway evaluator with a private memo keeps it isolated while
+	// still going through the one Evaluator entry point.
 	b := proxy.KMeansWithSparsity(0)
 	setting, err := s.settingFor("kmeans", b)
 	if err != nil {
@@ -267,13 +272,11 @@ func (s *Suite) Figure8() (Figure8Result, error) {
 	if err != nil {
 		return Figure8Result{}, err
 	}
-	cluster := pool.Get()
-	defer pool.Put(cluster)
-	proxDense, err := core.Run(cluster, b, setting)
+	proxDense, err := tuner.EvaluateOne(tuner.NewEvaluator(pool, b, nil), setting)
 	if err != nil {
 		return Figure8Result{}, err
 	}
-	denseRep := perf.CompareMetrics(realDense.Metrics, proxDense.Metrics, nil)
+	denseRep := perf.CompareMetrics(realDense.Metrics, proxDense, nil)
 
 	return Figure8Result{
 		Sparse: AccuracyRow{Workload: "K-means (90% sparse input)", PerMetric: sparseRep.PerMetric, Average: sparseRep.Average()},
@@ -297,13 +300,14 @@ type SpeedupRow struct {
 func (s *Suite) Figure10() ([]SpeedupRow, error) {
 	rows := make([]SpeedupRow, len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		var realWest, realHas, proxWest, proxHas sim.Report
+		var realWest, realHas sim.Report
+		var proxWest, proxHas perf.Metrics
 		errs := make([]error, 4)
 		parallel.Do(
 			func() { realWest, errs[0] = s.realReport(short, threeNodeWestmere) },
 			func() { realHas, errs[1] = s.realReport(short, threeNodeHaswell) },
-			func() { proxWest, errs[2] = s.proxyReport(short, threeNodeWestmere) },
-			func() { proxHas, errs[3] = s.proxyReport(short, threeNodeHaswell) },
+			func() { proxWest, errs[2] = s.proxyMetrics(short, threeNodeWestmere) },
+			func() { proxHas, errs[3] = s.proxyMetrics(short, threeNodeHaswell) },
 		)
 		for _, err := range errs {
 			if err != nil {

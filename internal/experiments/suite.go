@@ -22,6 +22,7 @@ import (
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
 	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tuner"
@@ -52,17 +53,20 @@ type Suite struct {
 	// runs.  Virtual results keep the paper's orders of magnitude.
 	Short bool
 
-	realReports  reportCache
-	proxyReports reportCache
+	realReports reportCache
 
 	settingsMu sync.Mutex
 	settings   map[string]*settingEntry
 
 	// proxyPools recycles the single-node proxy clusters per processor
 	// generation, so regenerating many tables and tuning runs stops
-	// allocating a fresh cluster per measurement.
+	// allocating a fresh cluster per measurement; proxyMemos are the
+	// matching per-generation measurement memos through which every proxy
+	// evaluation — tables, figures and tuning alike — is keyed, so a tuned
+	// setting evaluated during the tune is never re-simulated for a table.
 	poolsMu    sync.Mutex
 	proxyPools map[string]*sim.ClusterPool
+	proxyMemos map[string]*tuner.Memo
 }
 
 // NewSuite returns an empty suite.
@@ -160,6 +164,39 @@ func (s *Suite) proxyPool(key clusterKey) (*sim.ClusterPool, error) {
 	return p, nil
 }
 
+// proxyMemo returns (building it on first use) the measurement memo for
+// proxy evaluations on the given processor generation.  Memo keys embed the
+// benchmark, the cluster fingerprint and the canonical setting, so one memo
+// per generation is safe across all workloads and cluster keys that resolve
+// to it.
+func (s *Suite) proxyMemo(key clusterKey) *tuner.Memo {
+	profile := proxyProfile(key)
+	s.poolsMu.Lock()
+	defer s.poolsMu.Unlock()
+	if s.proxyMemos == nil {
+		s.proxyMemos = make(map[string]*tuner.Memo)
+	}
+	m := s.proxyMemos[profile.Name]
+	if m == nil {
+		m = tuner.NewMemo()
+		s.proxyMemos[profile.Name] = m
+	}
+	return m
+}
+
+// proxyEvaluator binds benchmark b to the suite's per-generation cluster
+// pool and measurement memo for the given cluster key.  It is the suite's
+// single proxy evaluation entry point: every consumer measures through the
+// returned tuner.Evaluator, so no call site invents its own pool or memo-key
+// discipline.
+func (s *Suite) proxyEvaluator(key clusterKey, b *core.Benchmark) (*tuner.MemoEvaluator, error) {
+	pool, err := s.proxyPool(key)
+	if err != nil {
+		return nil, err
+	}
+	return tuner.NewEvaluator(pool, b, s.proxyMemo(key)), nil
+}
+
 func (s *Suite) workloadSet(key clusterKey) []workloads.Spec {
 	if s.Short {
 		if key == fiveNodeWestmere {
@@ -211,41 +248,40 @@ func (s *Suite) realReport(short string, key clusterKey) (sim.Report, error) {
 	})
 }
 
-// proxyReport runs (or returns the cached run of) one proxy benchmark on a
-// single node with the given processor generation, optionally tuning it
-// against the real workload's metrics first.
-func (s *Suite) proxyReport(short string, key clusterKey) (sim.Report, error) {
-	return s.proxyReports.get(s.cacheID(short, key), func() (sim.Report, error) {
-		b, err := proxy.ForWorkload(short)
-		if err != nil {
-			return sim.Report{}, err
-		}
-		setting, err := s.settingFor(short, b)
-		if err != nil {
-			return sim.Report{}, err
-		}
-		pool, err := s.proxyPool(key)
-		if err != nil {
-			return sim.Report{}, err
-		}
-		cluster := pool.Get()
-		defer pool.Put(cluster)
-		return core.Run(cluster, b, setting)
-	})
+// proxyMetrics measures (or recalls from the per-generation memo) one proxy
+// benchmark under its qualified setting on a single node of the given
+// cluster key's processor generation, optionally tuning it against the real
+// workload's metrics first.  The memo plays the role a report cache played:
+// duplicate requests — including the same profile reached through different
+// cluster keys — singleflight onto one simulation.
+func (s *Suite) proxyMetrics(short string, key clusterKey) (perf.Metrics, error) {
+	b, err := proxy.ForWorkload(short)
+	if err != nil {
+		return perf.Metrics{}, err
+	}
+	setting, err := s.settingFor(short, b)
+	if err != nil {
+		return perf.Metrics{}, err
+	}
+	ev, err := s.proxyEvaluator(key, b)
+	if err != nil {
+		return perf.Metrics{}, err
+	}
+	return tuner.EvaluateOne(ev, setting)
 }
 
-// reportPair fetches the real and the proxy report of one workload,
+// reportPair fetches the real report and the proxy metrics of one workload,
 // concurrently when worker capacity is available.
-func (s *Suite) reportPair(short string, key clusterKey) (realRep, proxRep sim.Report, err error) {
+func (s *Suite) reportPair(short string, key clusterKey) (realRep sim.Report, proxM perf.Metrics, err error) {
 	var realErr, proxErr error
 	parallel.Do(
 		func() { realRep, realErr = s.realReport(short, key) },
-		func() { proxRep, proxErr = s.proxyReport(short, key) },
+		func() { proxM, proxErr = s.proxyMetrics(short, key) },
 	)
 	if realErr != nil {
-		return realRep, proxRep, realErr
+		return realRep, proxM, realErr
 	}
-	return realRep, proxRep, proxErr
+	return realRep, proxM, proxErr
 }
 
 // forEachWorkload runs fn for every workload of WorkloadOrder, concurrently
@@ -293,14 +329,15 @@ func (s *Suite) tuneSetting(short string, b *core.Benchmark) (core.Setting, erro
 	if err != nil {
 		return nil, err
 	}
-	// The tuner only reads its prototype (every evaluation runs on a pooled
-	// clone of its own), so it borrows the suite's Westmere proxy pool
-	// prototype instead of building a cluster per tune.
+	// The tune draws its simulations from the suite's Westmere proxy pool
+	// and keys them in the suite's Westmere memo, so every setting the tune
+	// evaluates — including the qualified one the tables will ask for — is
+	// already cached when the figures run.
 	pool, err := s.proxyPool(fiveNodeWestmere)
 	if err != nil {
 		return nil, err
 	}
-	res, err := tuner.Tune(pool.Proto(), b, target.Metrics, s.TuneOptions)
+	res, err := tuner.TuneWithPool(pool, b, target.Metrics, s.TuneOptions, s.proxyMemo(fiveNodeWestmere))
 	if err != nil {
 		return nil, err
 	}

@@ -37,8 +37,8 @@ func TestSuiteConcurrentReportGeneration(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			if r.proxy {
-				rep, err := s.proxyReport(r.short, fiveNodeWestmere)
-				runtimes[i], errs[i] = rep.Runtime, err
+				m, err := s.proxyMetrics(r.short, fiveNodeWestmere)
+				runtimes[i], errs[i] = m.Runtime, err
 				return
 			}
 			rep, err := s.realReport(r.short, fiveNodeWestmere)
@@ -62,12 +62,13 @@ func TestSuiteConcurrentReportGeneration(t *testing.T) {
 			t.Fatalf("request %d (%+v) returned non-positive runtime", i, reqs[i])
 		}
 	}
-	// Two real and two proxy measurements, each singleflighted.
+	// Two real and two proxy measurements, each singleflighted; the proxy
+	// side singleflights through the per-generation measurement memo.
 	if got := s.realReports.size(); got != 2 {
 		t.Fatalf("real report cache holds %d entries, want 2", got)
 	}
-	if got := s.proxyReports.size(); got != 2 {
-		t.Fatalf("proxy report cache holds %d entries, want 2", got)
+	if got := s.proxyMemo(fiveNodeWestmere).Size(); got != 2 {
+		t.Fatalf("proxy measurement memo holds %d entries, want 2", got)
 	}
 }
 

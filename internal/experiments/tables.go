@@ -107,15 +107,15 @@ type RuntimeRow struct {
 func (s *Suite) runtimeRows(key clusterKey) ([]RuntimeRow, error) {
 	rows := make([]RuntimeRow, len(WorkloadOrder))
 	err := forEachWorkload(func(i int, short string) error {
-		realRep, proxRep, err := s.reportPair(short, key)
+		realRep, proxM, err := s.reportPair(short, key)
 		if err != nil {
 			return err
 		}
 		rows[i] = RuntimeRow{
 			Workload:     displayName(short),
 			RealSeconds:  realRep.Runtime,
-			ProxySeconds: proxRep.Runtime,
-			Speedup:      sim.Speedup(realRep.Runtime, proxRep.Runtime),
+			ProxySeconds: proxM.Runtime,
+			Speedup:      sim.Speedup(realRep.Runtime, proxM.Runtime),
 		}
 		return nil
 	})

@@ -1,0 +1,23 @@
+package perf
+
+// CounterBatch holds one Counters lane per setting of a batched (lockstep)
+// evaluation.  The simulation engine executes the shared trace once and
+// accounts it into every lane under that lane's extrapolation factor, so a
+// batch plays the role node counters play for a solo run.
+type CounterBatch []Counters
+
+// NewCounterBatch returns a batch of k zeroed counter lanes.
+func NewCounterBatch(k int) CounterBatch {
+	return make(CounterBatch, k)
+}
+
+// Lane returns a pointer to lane i so callers can accumulate into it.
+func (b CounterBatch) Lane(i int) *Counters { return &b[i] }
+
+// Reset zeroes every lane in place so a batch can be reused across stages
+// without reallocating.
+func (b CounterBatch) Reset() {
+	for i := range b {
+		b[i] = Counters{}
+	}
+}

@@ -119,6 +119,19 @@ func (c *Counters) Scale(f float64) {
 	c.NetRecvBytes = s(c.NetRecvBytes)
 }
 
+// ScaledBy returns a copy of the counters multiplied by f.  A factor of
+// exactly 1 returns the receiver unchanged: Scale rounds every counter
+// through float64, which is lossy above 2^53 even at f == 1, and batched
+// execution relies on the unscaled lane being bit-identical to a solo run
+// that never entered Scale at all.
+func (c Counters) ScaledBy(f float64) Counters {
+	if f == 1 {
+		return c
+	}
+	c.Scale(f)
+	return c
+}
+
 // ClampMisses caps every miss counter at its corresponding access counter.
 // The simulation engine extrapolates line-granular cache samples up to
 // word-granular access totals; on tiny samples (a sub-word access straddling

@@ -6,6 +6,7 @@ import (
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
 )
@@ -43,6 +44,49 @@ func BenchmarkServeRun(b *testing.B) {
 		}
 		if !coalesced || m.Runtime == 0 {
 			b.Fatal("steady-state request should be served from the cache")
+		}
+	}
+}
+
+// BenchmarkServeRunBatch measures the scheduler round-trip of a repeated
+// batched /v1/run: four warm settings peeked byte-wise against the cache and
+// copied into caller-provided result slices.  Like the single-request steady
+// state this must stay allocation-free — the dst-slice shape of runBatch
+// exists precisely so an all-warm batch touches no heap — and the bench gate
+// enforces 0 allocs/op via the committed baseline.
+func BenchmarkServeRunBatch(b *testing.B) {
+	proto, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
+	bench, err := proxy.ForWorkload("terasort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	settings := []core.Setting{
+		core.DefaultSetting(),
+		{"dataSize": 0.5},
+		{"dataSize": 2},
+		{"numTasks": 2},
+	}
+	metrics := make([]perf.Metrics, len(settings))
+	coalesced := make([]bool, len(settings))
+	ctx := context.Background()
+
+	// First round-trip executes the cold sweep and fills the cache.
+	if err := sc.runBatch(ctx, "westmere", bench, settings, metrics, coalesced); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.runBatch(ctx, "westmere", bench, settings, metrics, coalesced); err != nil {
+			b.Fatal(err)
+		}
+		if !coalesced[0] || metrics[0].Runtime == 0 {
+			b.Fatal("steady-state batch should be served entirely from the cache")
 		}
 	}
 }

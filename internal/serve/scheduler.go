@@ -58,8 +58,12 @@ type scheduler struct {
 	// cache-answered request allocates nothing at all.
 	keyBufs sync.Pool
 
-	// runFn performs one simulation; tests replace it to control timing.
-	runFn func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error)
+	// evalFn measures a batch of settings through the shared memo — the
+	// tuner.Evaluator entry point every cold execution funnels through.
+	// Tests replace it to control timing and results.  The returned fresh
+	// flags report which settings were simulated (vs answered from memo
+	// entries or batch duplicates), exactly as EvaluateTracked does.
+	evalFn func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error)
 
 	executed  atomic.Int64 // simulations actually performed
 	coalesced atomic.Int64 // requests served from the result cache / singleflight
@@ -78,12 +82,8 @@ func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[strin
 		maxCacheEntries: maxCacheEntries,
 		protos:          protos,
 		pools:           pools,
-		runFn: func(cluster *sim.Cluster, b *core.Benchmark, s core.Setting) (perf.Metrics, error) {
-			rep, err := core.Run(cluster, b, s)
-			if err != nil {
-				return perf.Metrics{}, err
-			}
-			return rep.Metrics, nil
+		evalFn: func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+			return tuner.NewEvaluator(pool, b, memo).EvaluateTracked(settings)
 		},
 	}
 	sc.keyBufs.New = func() any { b := make([]byte, 0, 512); return &b }
@@ -145,7 +145,6 @@ func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark
 		sc.coalesced.Add(1)
 		return m, true, err
 	}
-	key := string(keyBytes)
 	*buf = keyBytes
 	sc.keyBufs.Put(buf)
 	if err := sc.acquire(ctx); err != nil {
@@ -153,18 +152,99 @@ func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark
 	}
 	defer sc.release()
 	pool := sc.pools[archName]
-	m, fresh, err := memo.Measure(key, func() (perf.Metrics, error) {
-		cluster := pool.Get()
-		defer pool.Put(cluster)
-		return sc.runFn(cluster, b, s)
-	})
-	if fresh {
+	ms, fresh, err := sc.evalFn(pool, b, memo, []core.Setting{s})
+	var m perf.Metrics
+	executed := false
+	if len(ms) == 1 {
+		m = ms[0]
+	}
+	if len(fresh) == 1 {
+		executed = fresh[0]
+	}
+	if executed {
 		sc.executed.Add(1)
 		sc.maybeEvict(memo)
 	} else {
 		sc.coalesced.Add(1)
 	}
-	return m, !fresh, err
+	return m, !executed, err
+}
+
+// runBatch executes benchmark b under a batch of settings on the named
+// architecture, writing the per-setting metric vector and coalesced flag into
+// the caller-provided metrics and coalesced slices (both len(settings)), in
+// request order.  The dst-slice shape keeps an all-warm batch — every setting
+// already completed in the cache — fully allocation-free: it is answered from
+// pooled key buffers with no admission and no new simulation.
+//
+// A batch with any cold setting passes admission ONCE, as a single unit:
+// either the whole cold remainder is admitted on one slot, or — when the
+// admission queue is full — the ENTIRE batch is shed with ErrOverloaded and
+// no partial results are produced.  Admitted cold settings execute as one
+// trace-sharing evaluation through the shared memo, so each is keyed
+// individually for future requests (and duplicates within the batch simulate
+// once).  A cached failure on any setting fails the whole batch with that
+// error, matching the single-run path where cached errors are replayed.
+func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benchmark, settings []core.Setting, metrics []perf.Metrics, coalesced []bool) error {
+	proto, err := sc.proto(archName)
+	if err != nil {
+		return err
+	}
+	memo := sc.currentMemo()
+	buf := sc.keyBufs.Get().(*[]byte)
+	keyBytes := (*buf)[:0]
+	var coldIdx []int
+	for i, s := range settings {
+		keyBytes = tuner.AppendMemoKey(keyBytes[:0], proto, b, s)
+		m, ok, err := memo.PeekBytes(keyBytes)
+		if ok && err != nil {
+			*buf = keyBytes
+			sc.keyBufs.Put(buf)
+			return err
+		}
+		if ok {
+			metrics[i] = m
+			coalesced[i] = true
+			continue
+		}
+		coldIdx = append(coldIdx, i)
+	}
+	*buf = keyBytes
+	sc.keyBufs.Put(buf)
+	if len(coldIdx) == 0 {
+		sc.coalesced.Add(int64(len(settings)))
+		return nil
+	}
+	coldSettings := make([]core.Setting, len(coldIdx))
+	for j, i := range coldIdx {
+		coldSettings[j] = settings[i]
+	}
+	if err := sc.acquire(ctx); err != nil {
+		return err
+	}
+	defer sc.release()
+	pool := sc.pools[archName]
+	ms, fresh, err := sc.evalFn(pool, b, memo, coldSettings)
+	if err == nil && (len(ms) != len(coldSettings) || len(fresh) != len(coldSettings)) {
+		err = fmt.Errorf("serve: evaluator returned %d results for %d settings", len(ms), len(coldSettings))
+	}
+	if err != nil {
+		return err
+	}
+	freshCount := 0
+	for j, i := range coldIdx {
+		metrics[i] = ms[j]
+		coalesced[i] = !fresh[j]
+		if fresh[j] {
+			freshCount++
+		}
+	}
+	sc.executed.Add(int64(freshCount))
+	sc.coalesced.Add(int64(len(settings) - freshCount))
+	if freshCount > 0 {
+		sc.maybeEvict(memo)
+	}
+	return nil
 }
 
 // acquire admits the calling request: it joins the admission queue if there

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -114,7 +115,18 @@ func TestRunRejectsBadRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
 	}
-	resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"workload": "terasort", "settings": nil})
+	for name, req := range map[string]any{
+		"both setting and settings": RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2}, Settings: []map[string]float64{{"dataSize": 3}}},
+		"empty settings batch":      map[string]any{"workload": "terasort", "settings": []any{}},
+		"bad setting in batch":      RunRequest{Workload: "terasort", Settings: []map[string]float64{{"dataSize": 2}, {"dataSize": -1}}},
+		"unknown param in batch":    RunRequest{Workload: "terasort", Settings: []map[string]float64{{"dataSizes": 2}}},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"workload": "terasort", "setings": nil})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
 	}
@@ -233,10 +245,16 @@ func TestRunShedsOverloadWith429(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1})
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	s.sched.runFn = func(cluster *sim.Cluster, b *core.Benchmark, setting core.Setting) (perf.Metrics, error) {
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
 		started <- struct{}{}
 		<-release
-		return perf.Metrics{Runtime: setting.Get("dataSize")}, nil
+		ms := make([]perf.Metrics, len(settings))
+		fresh := make([]bool, len(settings))
+		for i, setting := range settings {
+			ms[i] = perf.Metrics{Runtime: setting.Get("dataSize")}
+			fresh[i] = true
+		}
+		return ms, fresh, nil
 	}
 
 	first := make(chan int, 1)
@@ -265,6 +283,157 @@ func TestRunShedsOverloadWith429(t *testing.T) {
 	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("retry after shed: status %d body %s", resp.StatusCode, body)
+	}
+	if got := s.sched.shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+}
+
+// TestRunBatchMixedWarmColdExecutesOnlyCold is the serving layer's batch
+// contract test: settings already in the result cache are answered with zero
+// new simulations, the cold remainder executes once per distinct setting, and
+// every result arrives in request order, bit-identical to its single-request
+// twin.
+func TestRunBatchMixedWarmColdExecutesOnlyCold(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	warm := []map[string]float64{{"dataSize": 0.8}, {"dataSize": 1.2}}
+	singles := make([]string, len(warm))
+	for i, setting := range warm {
+		resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: setting})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup %d: status %d body %s", i, resp.StatusCode, body)
+		}
+		singles[i] = runMetricsJSON(t, body)
+	}
+	if got := s.sched.executed.Load(); got != 2 {
+		t.Fatalf("warmup executed %d simulations, want 2", got)
+	}
+
+	// Two warm settings, one cold setting submitted twice: only the distinct
+	// cold setting may simulate.
+	batch := []map[string]float64{{"dataSize": 1.2}, {"dataSize": 2.0}, {"dataSize": 0.8}, {"dataSize": 2.0}}
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Settings: batch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, body)
+	}
+	var br RunBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(batch) {
+		t.Fatalf("batch returned %d results for %d settings", len(br.Results), len(batch))
+	}
+	if got := s.sched.executed.Load(); got != 3 {
+		t.Fatalf("executed %d total simulations after the mixed batch, want 3 (batch must only simulate its one distinct cold setting)", got)
+	}
+	for i, wantCoalesced := range []bool{true, false, true, true} {
+		if br.Results[i].Coalesced != wantCoalesced {
+			t.Errorf("result %d: coalesced=%v, want %v", i, br.Results[i].Coalesced, wantCoalesced)
+		}
+	}
+	metricsJSON := func(i int) string {
+		data, err := json.Marshal(br.Results[i].Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if metricsJSON(0) != singles[1] || metricsJSON(2) != singles[0] {
+		t.Fatal("warm batch results diverge from their single-request twins")
+	}
+	if metricsJSON(1) != metricsJSON(3) {
+		t.Fatal("duplicate settings within one batch returned different metrics")
+	}
+
+	// The batch's cold execution is keyed like any other: a later legacy
+	// single request for it must coalesce with identical metrics.
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2.0}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-batch single: status %d body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Coalesced {
+		t.Fatal("single request after batch should coalesce with the batch's cached execution")
+	}
+	if got := runMetricsJSON(t, body); got != metricsJSON(1) {
+		t.Fatal("single request after batch diverges from the batch result")
+	}
+}
+
+// TestRunBatchShedsWholeBatch pins the documented all-or-nothing batch
+// admission: while the only slot is busy, a batch with any cold setting is
+// shed with 429 as a unit (no partial results, warm members included), while
+// an all-warm batch is still answered without admission at all.
+func TestRunBatchShedsWholeBatch(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var calls atomic.Int32
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+		if calls.Add(1) > 1 {
+			started <- struct{}{}
+			<-release
+		}
+		keys := make([]string, len(settings))
+		for i, setting := range settings {
+			keys[i] = tuner.MemoKey(pool.Proto(), b, setting)
+		}
+		return memo.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+			out := make([]perf.Metrics, len(cold))
+			for j, i := range cold {
+				out[j] = perf.Metrics{Runtime: settings[i].Get("dataSize")}
+			}
+			return out, nil
+		})
+	}
+
+	// Warm dataSize=1 (first evalFn call does not block), then park the only
+	// slot with a cold single run.
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: status %d body %s", resp.StatusCode, body)
+	}
+	parked := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": 2}})
+		parked <- resp.StatusCode
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parking request never started executing")
+	}
+
+	mixed := RunRequest{Workload: "terasort", Settings: []map[string]float64{{"dataSize": 1}, {"dataSize": 3}}}
+	resp, body = postJSON(t, ts.URL+"/v1/run", mixed)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("mixed batch under load: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 batch response is missing Retry-After")
+	}
+	if strings.Contains(string(body), `"results"`) {
+		t.Fatalf("shed batch must not carry partial results, got %s", body)
+	}
+
+	// All-warm batches bypass admission entirely, so they still succeed while
+	// the slot is parked.
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Settings: []map[string]float64{{"dataSize": 1}, {"dataSize": 1}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("all-warm batch under load: status %d body %s", resp.StatusCode, body)
+	}
+
+	close(release)
+	if status := <-parked; status != http.StatusOK {
+		t.Fatalf("parked request: status %d, want 200", status)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/run", mixed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch retry after shed: status %d body %s", resp.StatusCode, body)
 	}
 	if got := s.sched.shed.Load(); got != 1 {
 		t.Fatalf("shed counter %d, want 1", got)
@@ -543,8 +712,20 @@ func TestMetricsEndpoint(t *testing.T) {
 // them grow its heap forever).
 func TestResultCacheIsBounded(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxCacheEntries: 2})
-	s.sched.runFn = func(cluster *sim.Cluster, b *core.Benchmark, setting core.Setting) (perf.Metrics, error) {
-		return perf.Metrics{Runtime: setting.Get("dataSize")}, nil
+	// The stub still writes through the shared memo (the real evalFn's
+	// contract) so cache growth and eviction behave as in production.
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+		keys := make([]string, len(settings))
+		for i, setting := range settings {
+			keys[i] = tuner.MemoKey(pool.Proto(), b, setting)
+		}
+		return memo.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+			out := make([]perf.Metrics, len(cold))
+			for j, i := range cold {
+				out[j] = perf.Metrics{Runtime: settings[i].Get("dataSize")}
+			}
+			return out, nil
+		})
 	}
 	for i := 1; i <= 10; i++ {
 		resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "terasort", Setting: map[string]float64{"dataSize": float64(i)}})

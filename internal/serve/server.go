@@ -192,6 +192,13 @@ type RunRequest struct {
 	// keyed by core.ParameterNames (e.g. {"dataSize": 1.5}); omitted
 	// parameters default to 1.
 	Setting map[string]float64 `json:"setting,omitempty"`
+	// Settings submits a batch: one entry per setting to evaluate, each shaped
+	// like Setting (a nil entry selects the default setting).  Mutually
+	// exclusive with Setting; the response is a RunBatchResponse with one
+	// result per setting in request order.  Cold settings of the batch execute
+	// as one trace-sharing sweep and each is cached individually, so a later
+	// batch overlapping this one only simulates the genuinely new settings.
+	Settings []map[string]float64 `json:"settings,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/run.
@@ -209,6 +216,44 @@ type RunResponse struct {
 	Metrics perf.Metrics `json:"metrics"`
 }
 
+// RunResult is one per-setting outcome inside a RunBatchResponse.
+type RunResult struct {
+	// RuntimeSeconds is the proxy's virtual execution time under this setting.
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	// Coalesced reports whether this setting was served from the result cache
+	// (or batch-internal deduplication) instead of a fresh simulation.
+	Coalesced bool `json:"coalesced"`
+	// Metrics is the full metric vector (perf.MetricNames keys).
+	Metrics perf.Metrics `json:"metrics"`
+}
+
+// RunBatchResponse is the body of a successful batched POST /v1/run
+// (RunRequest.Settings): one RunResult per submitted setting, in request
+// order.
+type RunBatchResponse struct {
+	// Workload and Benchmark identify the executed proxy; Arch the profile.
+	Workload  string `json:"workload"`
+	Benchmark string `json:"benchmark"`
+	Arch      string `json:"arch"`
+	// Results holds the per-setting outcomes in request order.
+	Results []RunResult `json:"results"`
+}
+
+// handleRun serves POST /v1/run.  A legacy single-setting body ("setting", or
+// neither field) is answered with a RunResponse exactly as before; a batch
+// body ("settings") is answered with a RunBatchResponse carrying one result
+// per setting in request order.  Setting and Settings are mutually exclusive
+// and an empty Settings array is rejected, both with 400.
+//
+// Shed and 429 semantics for batches are all-or-nothing.  Settings already
+// completed in the result cache are answered without admission; a batch whose
+// settings are all warm never spends an admission slot.  The cold remainder
+// is admitted as ONE unit on a single slot and executes as one trace-sharing
+// sweep — when the admission queue is full, the ENTIRE batch (warm results
+// included) is shed with 429 + Retry-After and no partial result set is
+// returned, so a retried batch is answered consistently and mostly from
+// cache.  Each cold setting is memoized individually, which means partial
+// cache hits on later overlapping batches skip simulation per setting.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -218,6 +263,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	b, err := proxy.ForWorkload(req.Workload)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Settings != nil {
+		s.handleRunBatch(w, r, req, b)
 		return
 	}
 	archName, setting, err := normalizeRun(req)
@@ -245,6 +294,42 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleRunBatch answers the Settings form of POST /v1/run; see handleRun for
+// the shed/429 contract.
+func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request, req RunRequest, b *core.Benchmark) {
+	archName, settings, err := normalizeRunBatch(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	metrics := make([]perf.Metrics, len(settings))
+	coalesced := make([]bool, len(settings))
+	err = s.sched.runBatch(r.Context(), archName, b, settings, metrics, coalesced)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	results := make([]RunResult, len(settings))
+	for i := range settings {
+		results[i] = RunResult{
+			RuntimeSeconds: metrics[i].Runtime,
+			Coalesced:      coalesced[i],
+			Metrics:        metrics[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, RunBatchResponse{
+		Workload:  req.Workload,
+		Benchmark: b.Name,
+		Arch:      archName,
+		Results:   results,
+	})
+}
+
 // normalizeRun validates the architecture and setting of a run request.
 func normalizeRun(req RunRequest) (string, core.Setting, error) {
 	archName := req.Arch
@@ -262,6 +347,37 @@ func normalizeRun(req RunRequest) (string, core.Setting, error) {
 		return "", nil, err
 	}
 	return archName, setting, nil
+}
+
+// normalizeRunBatch validates the architecture and every setting of a batched
+// run request.  Setting and Settings are mutually exclusive, and an empty
+// batch is an error rather than an empty success (it is always a client bug).
+func normalizeRunBatch(req RunRequest) (string, []core.Setting, error) {
+	if req.Setting != nil {
+		return "", nil, errors.New(`serve: request must set "setting" or "settings", not both`)
+	}
+	if len(req.Settings) == 0 {
+		return "", nil, errors.New(`serve: "settings" must contain at least one setting`)
+	}
+	archName := req.Arch
+	if archName == "" {
+		archName = "westmere"
+	}
+	if _, ok := arch.Profiles()[archName]; !ok {
+		return "", nil, fmt.Errorf("serve: unknown architecture %q", archName)
+	}
+	settings := make([]core.Setting, len(req.Settings))
+	for i, m := range req.Settings {
+		s := core.Setting(m)
+		if s == nil {
+			s = core.DefaultSetting()
+		}
+		if err := s.Validate(); err != nil {
+			return "", nil, fmt.Errorf("serve: settings[%d]: %w", i, err)
+		}
+		settings[i] = s
+	}
+	return archName, settings, nil
 }
 
 // TuneRequest is the body of POST /v1/tune: qualify the workload's proxy on

@@ -397,6 +397,25 @@ func (e *Exec) Finish() {
 	if e.finished {
 		return
 	}
+	e.finishRaw()
+
+	if e.scale != 1 {
+		e.counters.Scale(e.scale)
+		e.diskSeconds *= e.scale
+		e.netSeconds *= e.scale
+	}
+	e.node.absorb(e)
+}
+
+// finishRaw performs the sample extrapolation and cycle derivation of Finish
+// without applying the scale factor or merging into the node.  Batched
+// execution calls it directly: the raw totals are then accounted once per
+// lane under that lane's own scale factor, replicating Finish's `scale != 1`
+// guard per lane so the unscaled lane stays bit-identical to a solo run.
+func (e *Exec) finishRaw() {
+	if e.finished {
+		return
+	}
 	e.finished = true
 
 	// Extrapolate data-side cache behaviour.
@@ -445,13 +464,6 @@ func (e *Exec) Finish() {
 	e.counters.ClampMisses()
 
 	e.counters.Cycles = e.deriveCycles()
-
-	if e.scale != 1 {
-		e.counters.Scale(e.scale)
-		e.diskSeconds *= e.scale
-		e.netSeconds *= e.scale
-	}
-	e.node.absorb(e)
 }
 
 func scaleU(v uint64, f float64) uint64 {

@@ -5,6 +5,7 @@ import (
 
 	"dataproxy/internal/core"
 	"dataproxy/internal/parallel"
+	"dataproxy/internal/sim"
 )
 
 // BenchmarkTune compares the sequential and parallel auto-tuning pipeline on
@@ -17,6 +18,62 @@ import (
 func BenchmarkTune(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { benchmarkTune(b, 1) })
 	b.Run("parallel", func(b *testing.B) { benchmarkTune(b, 0) })
+}
+
+// sweepSettings is a representative tuner sweep: an impact-analysis grid over
+// numTasks and chunkSize (which change the simulated trace) crossed with
+// dataSize and weight refinements (which only extrapolate it) — 36 settings
+// falling into 9 trace groups.
+func sweepSettings() []core.Setting {
+	var settings []core.Setting
+	for _, nt := range []float64{0.5, 1, 2} {
+		for _, cs := range []float64{0.5, 1, 2} {
+			for _, ds := range []float64{0.7, 1.4} {
+				for _, w := range []float64{0.8, 1.2} {
+					settings = append(settings, core.Setting{"numTasks": nt, "chunkSize": cs, "dataSize": ds, "weight": w})
+				}
+			}
+		}
+	}
+	return settings
+}
+
+// BenchmarkTuneBatched measures the batched evaluation engine head to head:
+// the same 36-setting sweep evaluated one core.Run at a time versus as one
+// lockstep core.RunBatch.  The batch groups settings by trace key, simulates
+// each of the 9 distinct traces once — every input record generated and every
+// weight cache line streamed a single time for all lanes — and carries the
+// per-setting extrapolations through parallel counter sets, so `batched` must
+// land well above the 3x throughput target over `oneatatime` at bit-identical
+// results (TestRunBatchMatchesSequential in internal/core).  Tracked by
+// `make bench-json`.
+func BenchmarkTuneBatched(b *testing.B) {
+	proxyB := smallProxy()
+	settings := sweepSettings()
+	b.Run("oneatatime", func(b *testing.B) {
+		pool := sim.NewClusterPool(singleNode())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range settings {
+				c := pool.Get()
+				if _, err := core.Run(c, proxyB, s); err != nil {
+					b.Fatal(err)
+				}
+				pool.Put(c)
+			}
+		}
+		b.ReportMetric(float64(len(settings)), "settings")
+	})
+	b.Run("batched", func(b *testing.B) {
+		pool := sim.NewClusterPool(singleNode())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunBatch(pool, proxyB, settings); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(settings)), "settings")
+	})
 }
 
 func benchmarkTune(b *testing.B, workers int) {

@@ -1,0 +1,253 @@
+package tuner
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+)
+
+// TestMeasureBatchDeduplicatesAndCaches drives the batch memo API directly:
+// duplicate keys within one batch execute once (first occurrence fresh, the
+// rest answered from the fresh entry), and a second batch over the same keys
+// executes nothing.
+func TestMeasureBatchDeduplicatesAndCaches(t *testing.T) {
+	m := NewMemo()
+	var mu sync.Mutex
+	var executed []string
+	run := func(keys []string) func(cold []int) ([]perf.Metrics, error) {
+		return func(cold []int) ([]perf.Metrics, error) {
+			out := make([]perf.Metrics, len(cold))
+			mu.Lock()
+			for j, i := range cold {
+				executed = append(executed, keys[i])
+				out[j] = perf.Metrics{Runtime: float64(len(keys[i]))}
+			}
+			mu.Unlock()
+			return out, nil
+		}
+	}
+
+	keys := []string{"a", "bb", "a", "ccc"}
+	metrics, fresh, err := m.MeasureBatch(keys, run(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []bool{true, true, false, true}; !equalBools(fresh, want) {
+		t.Fatalf("fresh flags %v, want %v", fresh, want)
+	}
+	if len(executed) != 3 {
+		t.Fatalf("executed %v, want the 3 distinct keys once each", executed)
+	}
+	for i, k := range keys {
+		if metrics[i].Runtime != float64(len(k)) {
+			t.Fatalf("metrics[%d].Runtime = %g, want %d", i, metrics[i].Runtime, len(k))
+		}
+	}
+
+	metrics2, fresh2, err := m.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+		t.Errorf("warm batch re-executed cold indexes %v", cold)
+		return nil, errors.New("must not run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if fresh2[i] {
+			t.Fatalf("second batch fresh[%d]=true, want all warm", i)
+		}
+		if metrics2[i] != metrics[i] {
+			t.Fatalf("second batch metrics[%d] diverge", i)
+		}
+	}
+	if m.Size() != 3 {
+		t.Fatalf("memo holds %d entries, want 3", m.Size())
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMeasureBatchErrorCompletesAllEntries: a failing batched run must cache
+// the error on every claimed entry — concurrent waiters are woken with the
+// error instead of hanging, and retries replay it without re-simulating.
+func TestMeasureBatchErrorCompletesAllEntries(t *testing.T) {
+	m := NewMemo()
+	boom := errors.New("boom")
+	_, _, err := m.MeasureBatch([]string{"x", "y"}, func(cold []int) ([]perf.Metrics, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("batch error %v, want boom", err)
+	}
+	for _, key := range []string{"x", "y"} {
+		_, fresh, err := m.Measure(key, func() (perf.Metrics, error) {
+			t.Errorf("key %q re-executed after cached failure", key)
+			return perf.Metrics{}, nil
+		})
+		if fresh || !errors.Is(err, boom) {
+			t.Fatalf("key %q: fresh=%v err=%v, want cached boom", key, fresh, err)
+		}
+	}
+}
+
+// TestMeasureBatchPanicCompletesAllEntries: a panicking batched run re-raises
+// but still completes every claimed entry with an error, so no waiter hangs.
+func TestMeasureBatchPanicCompletesAllEntries(t *testing.T) {
+	m := NewMemo()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		_, _, _ = m.MeasureBatch([]string{"p", "q"}, func(cold []int) ([]perf.Metrics, error) {
+			panic("kaboom")
+		})
+	}()
+	for _, key := range []string{"p", "q"} {
+		_, _, err := m.Measure(key, func() (perf.Metrics, error) {
+			t.Errorf("key %q re-executed after panic", key)
+			return perf.Metrics{}, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("key %q: err %v, want cached panic error", key, err)
+		}
+	}
+}
+
+// TestMeasureBatchLengthMismatch: a run returning the wrong result count is an
+// error cached on every cold entry, not a silent partial write.
+func TestMeasureBatchLengthMismatch(t *testing.T) {
+	m := NewMemo()
+	_, _, err := m.MeasureBatch([]string{"u", "v"}, func(cold []int) ([]perf.Metrics, error) {
+		return make([]perf.Metrics, 1), nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "returned 1 results for 2 settings") {
+		t.Fatalf("err %v, want length-mismatch error", err)
+	}
+}
+
+// TestEvaluatorMatchesCoreRun pins the Evaluator contract from the issue: the
+// single shared entry point returns metrics bit-identical to one-at-a-time
+// core.Run on fresh clusters, a repeated evaluation is answered entirely from
+// the memo, and EvaluateOne adapts single-setting call sites.
+func TestEvaluatorMatchesCoreRun(t *testing.T) {
+	b := smallProxy()
+	pool := sim.NewClusterPool(singleNode())
+	ev := NewEvaluator(pool, b, NewMemo())
+	settings := []core.Setting{
+		nil,
+		{"dataSize": 0.5},
+		{"dataSize": 2, "numTasks": 0.5},
+		{"dataSize": 0.5}, // batch duplicate
+	}
+
+	got, fresh, err := ev.EvaluateTracked(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []bool{true, true, true, false}; !equalBools(fresh, want) {
+		t.Fatalf("fresh flags %v, want %v", fresh, want)
+	}
+	for i, s := range settings {
+		rep, err := core.Run(singleNode(), b, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, _ := json.Marshal(got[i])
+		wantJSON, _ := json.Marshal(rep.Metrics)
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("setting %d: evaluator metrics diverge from core.Run:\n%s\nvs\n%s", i, gotJSON, wantJSON)
+		}
+	}
+
+	_, fresh, err = ev.EvaluateTracked(settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range settings {
+		if fresh[i] {
+			t.Fatalf("repeat evaluation fresh[%d]=true, want a pure memo hit", i)
+		}
+	}
+
+	one, err := EvaluateOne(ev, core.Setting{"dataSize": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != got[1] {
+		t.Fatal("EvaluateOne diverges from the batched evaluation of the same setting")
+	}
+}
+
+// TestEvaluatorNilMemoIsPrivate: a nil memo still deduplicates within the
+// evaluator but shares nothing with other evaluators.
+func TestEvaluatorNilMemoIsPrivate(t *testing.T) {
+	b := smallProxy()
+	pool := sim.NewClusterPool(singleNode())
+	ev := NewEvaluator(pool, b, nil)
+	if ev.Memo() == nil {
+		t.Fatal("nil memo should be replaced with a private one")
+	}
+	if _, err := ev.Evaluate([]core.Setting{{"dataSize": 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if size := ev.Memo().Size(); size != 1 {
+		t.Fatalf("private memo holds %d entries, want 1", size)
+	}
+	other := NewEvaluator(pool, b, nil)
+	if other.Memo() == ev.Memo() {
+		t.Fatal("two nil-memo evaluators must not share a memo")
+	}
+}
+
+// TestMeasureBatchConcurrentOverlap hammers overlapping batches from many
+// goroutines: every distinct key must execute exactly once across all
+// callers (the -race companion to TestMemoSingleflight, batched).
+func TestMeasureBatchConcurrentOverlap(t *testing.T) {
+	m := NewMemo()
+	keys := []string{"k0", "k1", "k2", "k3", "k4"}
+	var executions [5]int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := append([]string{}, keys[g%3:]...)
+			_, _, err := m.MeasureBatch(batch, func(cold []int) ([]perf.Metrics, error) {
+				mu.Lock()
+				for _, i := range cold {
+					executions[(g%3)+i]++
+				}
+				mu.Unlock()
+				return make([]perf.Metrics, len(cold)), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range executions {
+		if n != 1 {
+			t.Fatalf("key %d executed %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -24,18 +24,46 @@ type Memo struct {
 }
 
 type memoEntry struct {
-	once sync.Once
-	// done flips to true after once has populated metrics/err; Peek reads it
-	// with acquire semantics so a true observation guarantees the fields are
-	// visible without taking any lock or blocking on the once.
+	// claimed is CAS-set by the one caller responsible for executing the
+	// measurement; everyone else waits on ready.  A claim-flag (instead of a
+	// sync.Once) lets MeasureBatch claim many entries up front, run them as
+	// one batched simulation, and only then complete them.
+	claimed atomic.Bool
+	// done flips to true after metrics/err are populated; Peek reads it with
+	// acquire semantics so a true observation guarantees the fields are
+	// visible without taking any lock or blocking on ready.
 	done    atomic.Bool
+	ready   chan struct{}
 	metrics perf.Metrics
 	err     error
+}
+
+// complete publishes the entry's metrics/err fields (which must be assigned
+// before the call) and wakes every waiter.  It must run exactly once per
+// entry, on the claiming caller.
+func (e *memoEntry) complete() {
+	e.done.Store(true)
+	close(e.ready)
 }
 
 // NewMemo returns an empty measurement memo.
 func NewMemo() *Memo {
 	return &Memo{entries: make(map[string]*memoEntry)}
+}
+
+// entry returns the (created-if-missing) entry for key.
+func (m *Memo) entry(key string) *memoEntry {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	e := m.entries[key]
+	if e == nil {
+		e = &memoEntry{ready: make(chan struct{})}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	return e
 }
 
 // MemoKey builds the cache key of one proxy measurement: the benchmark name,
@@ -69,33 +97,97 @@ func AppendMemoKey(dst []byte, cluster *sim.Cluster, b *core.Benchmark, s core.S
 // caller).  Errors are cached alongside results so a failing setting is not
 // re-simulated either.
 func (m *Memo) Measure(key string, run func() (perf.Metrics, error)) (metrics perf.Metrics, fresh bool, err error) {
-	m.mu.Lock()
-	if m.entries == nil {
-		m.entries = make(map[string]*memoEntry)
-	}
-	e := m.entries[key]
-	if e == nil {
-		e = &memoEntry{}
-		m.entries[key] = e
-	}
-	m.mu.Unlock()
-	e.once.Do(func() {
+	e := m.entry(key)
+	if e.claimed.CompareAndSwap(false, true) {
 		fresh = true
-		// A panic in run still consumes the once (sync.Once semantics), so
-		// record it as the entry's cached error before re-raising: later
-		// callers then replay a real error instead of silently reading a
-		// zero Metrics with a nil error from a half-initialised entry.
+		// A panic in run still consumes the claim, so record it as the
+		// entry's cached error before re-raising: later callers then replay
+		// a real error instead of silently reading a zero Metrics with a nil
+		// error from a half-initialised entry — and waiters are still woken.
 		defer func() {
 			if r := recover(); r != nil {
 				e.err = fmt.Errorf("tuner: measurement of %q panicked: %v", key, r)
-				e.done.Store(true)
+				e.complete()
 				panic(r)
 			}
-			e.done.Store(true)
+			e.complete()
 		}()
 		e.metrics, e.err = run()
-	})
+	} else {
+		<-e.ready
+	}
 	return e.metrics, fresh, e.err
+}
+
+// MeasureBatch returns the metrics for every key of one batched evaluation,
+// in key order.  It claims all never-measured keys up front, hands their
+// positions (indexes into keys) to run as ONE batched simulation, completes
+// them, and then waits for keys other callers have in flight.  fresh[i]
+// reports whether this call executed key i's simulation; duplicate keys
+// within one batch execute once (the first occurrence is fresh, the rest are
+// memo hits).  Like Measure, errors — including panics in run — are cached
+// on every claimed entry so waiters never hang and failing settings are not
+// re-simulated.  The returned error is the first per-key error in key order.
+func (m *Memo) MeasureBatch(keys []string, run func(cold []int) ([]perf.Metrics, error)) ([]perf.Metrics, []bool, error) {
+	entries := make([]*memoEntry, len(keys))
+	fresh := make([]bool, len(keys))
+	var cold []int
+	for i, k := range keys {
+		e := m.entry(k)
+		entries[i] = e
+		if e.claimed.CompareAndSwap(false, true) {
+			fresh[i] = true
+			cold = append(cold, i)
+		}
+	}
+	if len(cold) > 0 {
+		runColdBatch(keys, entries, cold, run)
+	}
+	metrics := make([]perf.Metrics, len(keys))
+	var firstErr error
+	for i, e := range entries {
+		if !fresh[i] {
+			// Cold entries completed above, so waiting here cannot deadlock
+			// on entries this same call claimed (duplicate keys included).
+			<-e.ready
+		}
+		metrics[i] = e.metrics
+		if firstErr == nil && e.err != nil {
+			firstErr = e.err
+		}
+	}
+	return metrics, fresh, firstErr
+}
+
+// runColdBatch executes run over the claimed cold entries and completes
+// every one of them — on success, on error and on panic alike — because a
+// claimed entry that is never completed would hang its waiters forever.
+func runColdBatch(keys []string, entries []*memoEntry, cold []int, run func(cold []int) ([]perf.Metrics, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, i := range cold {
+				e := entries[i]
+				if !e.done.Load() {
+					e.err = fmt.Errorf("tuner: measurement of %q panicked: %v", keys[i], r)
+					e.complete()
+				}
+			}
+			panic(r)
+		}
+	}()
+	res, err := run(cold)
+	if err == nil && len(res) != len(cold) {
+		err = fmt.Errorf("tuner: batched measurement returned %d results for %d settings", len(res), len(cold))
+	}
+	for j, i := range cold {
+		e := entries[i]
+		if err != nil {
+			e.err = err
+		} else {
+			e.metrics = res[j]
+		}
+		e.complete()
+	}
 }
 
 // Peek returns the completed measurement for key without blocking: ok is

@@ -7,14 +7,17 @@
 // metric) and a feedback stage (re-measure accuracy) until every metric's
 // deviation is within the threshold or the iteration budget is exhausted.
 //
-// The pipeline is parallel and memoized: impact-analysis perturbations and
-// per-metric tree fits fan out over the shared worker pool
-// (internal/parallel), every evaluation runs on its own clone of the proxy
-// cluster so per-node state stays deterministic, and a singleflight Memo
-// keyed by (benchmark, canonical setting, architecture profile) guarantees
-// that no setting is ever simulated twice.  Results are bit-identical at any
-// worker count.  TuneAll qualifies one proxy per architecture profile
-// concurrently, reproducing the paper's cross-system validation.
+// The pipeline is batched, parallel and memoized: every measurement goes
+// through the Evaluator interface, whose standard implementation
+// (MemoEvaluator) evaluates a whole batch of settings in one trace-sharing
+// core.RunBatch sweep — settings differing only in extrapolation parameters
+// share their motif compute — while distinct traces fan out over the shared
+// worker pool (internal/parallel) on pooled clusters, and a singleflight
+// Memo keyed by (benchmark, canonical setting, architecture profile)
+// guarantees that no setting is ever simulated twice.  Results are
+// bit-identical to one-at-a-time evaluation at any worker count and batch
+// size.  TuneAll qualifies one proxy per architecture profile concurrently,
+// reproducing the paper's cross-system validation.
 package tuner
 
 import (
@@ -110,57 +113,48 @@ type Result struct {
 	Iterations int
 	// History records each round.
 	History []Iteration
-	// Evaluations counts how many distinct proxy simulations were executed
-	// on behalf of this tune (impact analysis + feedback evaluations).
-	// Settings recalled from the measurement memo are counted in MemoHits
-	// instead and perform zero new simulation.
+	// Evaluations counts how many distinct settings were simulated fresh on
+	// behalf of this tune (impact analysis + feedback evaluations); batched
+	// settings on the same trace still count individually even though they
+	// share motif compute.  Settings recalled from the measurement memo are
+	// counted in MemoHits instead and perform zero new simulation.
 	Evaluations int
 	// MemoHits counts the evaluations served from the measurement memo.
 	MemoHits int
 }
 
-// evaluator measures proxy settings through a shared Memo, drawing an
-// isolated cluster from a reset-don't-reallocate pool for every executed
-// simulation (concurrent evaluations each hold their own pooled cluster;
-// sequential evaluations keep reusing the same one).  The counter fields
-// are owned by the tune's driving goroutine; parallel phases measure
-// through measureRaw and account for their fresh flags sequentially
-// afterwards.
-type evaluator struct {
-	pool        *sim.ClusterPool
-	b           *core.Benchmark
-	memo        *Memo
+// countingEvaluator wraps the tune's MemoEvaluator with the Evaluations /
+// MemoHits accounting.  The counters are owned by the tune's driving
+// goroutine: every stage evaluates through one sequential measure/
+// measureBatch call (the batching inside the evaluator supplies the
+// parallelism), so no synchronisation is needed.
+type countingEvaluator struct {
+	ev          *MemoEvaluator
 	evaluations int
 	memoHits    int
 }
 
-// measureRaw evaluates one setting via the memo.  It is safe for concurrent
-// use; it does not touch the counters.
-func (ev *evaluator) measureRaw(s core.Setting) (perf.Metrics, bool, error) {
-	return ev.memo.Measure(MemoKey(ev.pool.Proto(), ev.b, s), func() (perf.Metrics, error) {
-		cluster := ev.pool.Get()
-		defer ev.pool.Put(cluster)
-		rep, err := core.Run(cluster, ev.b, s)
-		if err != nil {
-			return perf.Metrics{}, err
+// measureBatch evaluates a batch of settings through the Evaluator entry
+// point and accounts each setting's fresh flag.
+func (ce *countingEvaluator) measureBatch(settings []core.Setting) ([]perf.Metrics, error) {
+	ms, fresh, err := ce.ev.EvaluateTracked(settings)
+	for _, f := range fresh {
+		if f {
+			ce.evaluations++
+		} else {
+			ce.memoHits++
 		}
-		return rep.Metrics, nil
-	})
-}
-
-// measure is the sequential-phase entry point: evaluate and account.
-func (ev *evaluator) measure(s core.Setting) (perf.Metrics, error) {
-	m, fresh, err := ev.measureRaw(s)
-	ev.account(fresh)
-	return m, err
-}
-
-func (ev *evaluator) account(fresh bool) {
-	if fresh {
-		ev.evaluations++
-	} else {
-		ev.memoHits++
 	}
+	return ms, err
+}
+
+// measure evaluates a single setting as a one-lane batch.
+func (ce *countingEvaluator) measure(s core.Setting) (perf.Metrics, error) {
+	ms, err := ce.measureBatch([]core.Setting{s})
+	if err != nil {
+		return perf.Metrics{}, err
+	}
+	return ms[0], nil
 }
 
 // Tune runs the full auto-tuning process of the paper's Figure 3 for one
@@ -192,23 +186,25 @@ func TuneWithPool(pool *sim.ClusterPool, b *core.Benchmark, target perf.Metrics,
 		memo = NewMemo()
 	}
 	res = Result{Setting: core.DefaultSetting()}
-	ev := &evaluator{pool: pool, b: b, memo: memo}
+	ce := &countingEvaluator{ev: NewEvaluator(pool, b, memo)}
 	defer func() {
-		res.Evaluations = ev.evaluations
-		res.MemoHits = ev.memoHits
+		res.Evaluations = ce.evaluations
+		res.MemoHits = ce.memoHits
 	}()
 
 	// Baseline evaluation with the initial weights/parameters.
-	baseline, err := ev.measure(res.Setting)
+	baseline, err := ce.measure(res.Setting)
 	if err != nil {
 		return res, fmt.Errorf("tuner: baseline evaluation failed: %w", err)
 	}
 
 	// --- Impact analysis: perturb one parameter at a time.  The
-	// perturbations are independent simulations, so they fan out over the
-	// worker pool; the observations are then recorded in canonical
-	// (parameter, factor) order so the decision trees are fitted on exactly
-	// the sample sequence the sequential path produces.
+	// perturbations evaluate as one batch through the Evaluator, which
+	// shares motif compute between settings on the same trace and fans
+	// distinct traces out over the worker pool; the observations are
+	// recorded in canonical (parameter, factor) order so the decision trees
+	// are fitted on exactly the sample sequence the sequential path
+	// produces.
 	samples := map[string][]dtree.Sample{}
 	record := func(s core.Setting, m perf.Metrics) {
 		feat := featureVector(s, opts.Parameters)
@@ -228,27 +224,18 @@ func TuneWithPool(pool *sim.ClusterPool, b *core.Benchmark, target perf.Metrics,
 			jobs = append(jobs, impactJob{param: p, factor: f})
 		}
 	}
-	type impactObs struct {
-		setting core.Setting
-		metrics perf.Metrics
-		fresh   bool
-		err     error
+	perturbed := make([]core.Setting, len(jobs))
+	for i, j := range jobs {
+		s := res.Setting.Clone()
+		s[j.param] = j.factor
+		perturbed[i] = s
 	}
-	observations := make([]impactObs, len(jobs))
-	parallel.For(len(jobs), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := res.Setting.Clone()
-			s[jobs[i].param] = jobs[i].factor
-			m, fresh, err := ev.measureRaw(s)
-			observations[i] = impactObs{setting: s, metrics: m, fresh: fresh, err: err}
-		}
-	})
-	for i, obs := range observations {
-		ev.account(obs.fresh)
-		if obs.err != nil {
-			return res, fmt.Errorf("tuner: impact analysis of %s failed: %w", jobs[i].param, obs.err)
-		}
-		record(obs.setting, obs.metrics)
+	observations, err := ce.measureBatch(perturbed)
+	if err != nil {
+		return res, fmt.Errorf("tuner: impact analysis failed: %w", err)
+	}
+	for i, s := range perturbed {
+		record(s, observations[i])
 	}
 	trees, err := fitTrees(samples, opts.Metrics)
 	if err != nil {
@@ -281,7 +268,7 @@ func TuneWithPool(pool *sim.ClusterPool, b *core.Benchmark, target perf.Metrics,
 		// Feedback stage: evaluate the adjusted proxy benchmark.  A
 		// candidate the loop has already visited (e.g. a re-proposed
 		// rejected move) comes straight from the memo.
-		m, err := ev.measure(candidate)
+		m, err := ce.measure(candidate)
 		if err != nil {
 			return res, fmt.Errorf("tuner: feedback evaluation failed: %w", err)
 		}

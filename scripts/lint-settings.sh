@@ -1,0 +1,60 @@
+#!/bin/sh
+# lint-settings.sh fails when a core.Setting literal in the non-test sources
+# keys a parameter that is not in core.ParameterNames: such a key would pass
+# compilation (Setting is a map) but fail Setting.Validate at runtime — or
+# worse, silently tune nothing if validation is skipped.  The valid name list
+# is extracted from internal/core/params.go so the check can never drift from
+# the code.
+set -eu
+cd "$(dirname "$0")/.."
+
+params=$(awk '/^var ParameterNames = /,/^}/' internal/core/params.go |
+  grep -o '"[a-zA-Z]*"' | tr -d '"' | tr '\n' ' ')
+if [ -z "$params" ]; then
+  echo "lint-settings: could not extract ParameterNames from internal/core/params.go" >&2
+  exit 1
+fi
+
+status=0
+for f in $(find cmd internal -name '*.go' ! -name '*_test.go' | sort); do
+  occurrences=$(awk '
+    # scan prints every "key": occurrence of the line fragment.
+    function scan(line) {
+      while (match(line, /"[a-zA-Z_][a-zA-Z0-9_]*"[[:space:]]*:/)) {
+        key = substr(line, RSTART, RLENGTH)
+        gsub(/["[:space:]:]/, "", key)
+        print FILENAME ":" FNR ":" key
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }
+    {
+      line = $0
+      if (depth == 0) {
+        # A Setting literal opens here: (core.)Setting{ or []core.Setting{.
+        if (!match(line, /(^|[^A-Za-z0-9_.])(core\.)?Setting\{/)) next
+        line = substr(line, RSTART)
+        line = substr(line, index(line, "{"))
+      }
+      scan(line)
+      opens = gsub(/\{/, "{", line)
+      closes = gsub(/\}/, "}", line)
+      depth += opens - closes
+      if (depth < 0) depth = 0
+    }
+  ' "$f")
+  [ -n "$occurrences" ] || continue
+  for occ in $occurrences; do
+    key=${occ##*:}
+    case " $params " in
+    *" $key "*) ;;
+    *)
+      echo "$occ: unknown tunable parameter in Setting literal (not in core.ParameterNames)"
+      status=1
+      ;;
+    esac
+  done
+done
+if [ "$status" -ne 0 ]; then
+  echo "lint-settings: Setting literal keys must come from core.ParameterNames (internal/core/params.go)."
+fi
+exit $status
