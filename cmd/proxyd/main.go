@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N] [-pprof addr]
+//	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N]
+//	       [-state-dir DIR] [-snapshot-interval 30s] [-shutdown-timeout 10s]
+//	       [-faults SPEC] [-check-invariants] [-pprof addr]
 //
 // Endpoints:
 //
 //	GET  /healthz       liveness
-//	GET  /metrics       request, cache and queue counters (Prometheus-style)
+//	GET  /readyz        readiness (503 while restoring or draining)
+//	GET  /metrics       request, cache, queue and durability counters (Prometheus-style)
 //	GET  /v1/workloads  servable proxy benchmarks
 //	GET  /v1/archs      servable architecture profiles
 //	POST /v1/run        execute a proxy: {"workload":"terasort","arch":"westmere","setting":{"dataSize":1.5}}
@@ -17,6 +20,13 @@
 //
 // Identical /v1/run requests coalesce through the server's result cache
 // (keyed bit-exactly like the auto-tuner's memo); overload is shed with 429.
+//
+// With -state-dir the daemon is crash-safe: the result cache and job table
+// are snapshotted there periodically and on SIGTERM, and restored at the
+// next start — an interrupted tune job is re-enqueued and converges against
+// the restored cache.  SIGTERM drains gracefully: new work is shed with 429,
+// in-flight work finishes within -shutdown-timeout, then the final snapshot
+// is written and the process exits.
 package main
 
 import (
@@ -26,11 +36,14 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dataproxy/internal/faultinject"
 	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
 	"dataproxy/internal/serve"
 )
 
@@ -43,9 +56,23 @@ func main() {
 	jobQueue := flag.Int("jobqueue", 0, "queued tune jobs before shedding (0 = default 16)")
 	cache := flag.Int("cache", 0, "result-cache entries before the cache is swapped out (0 = default 4096)")
 	par := flag.Int("parallel", 0, "host worker count of the shared execution engine (0 = all CPUs, 1 = sequential)")
+	stateDir := flag.String("state-dir", "", "directory for crash-safe state snapshots; empty disables persistence")
+	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence with -state-dir (0 = default 30s)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "graceful-drain budget on SIGTERM (0 = default 10s)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "serve.evaluate=delay:300ms,serve.snapshot.write=error:disk full*2" (also via DATAPROXY_FAULTS)`)
+	checkInvariants := flag.Bool("check-invariants", false, "validate measurement invariants on every simulation (also via DATAPROXY_INVARIANTS=1)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 	parallel.SetWorkers(*par)
+	if *checkInvariants {
+		perf.SetInvariantChecks(true)
+	}
+	if *faults != "" {
+		if err := faultinject.Configure(*faults); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault injection armed: %s", *faults)
+	}
 
 	// Opt-in profiling endpoint on its own listener, so production hot paths
 	// can be profiled without exposing pprof on the serving address.
@@ -65,11 +92,19 @@ func main() {
 		}()
 	}
 
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv, err := serve.New(serve.Config{
-		MaxInFlight:     *inflight,
-		QueueDepth:      *queue,
-		JobQueueDepth:   *jobQueue,
-		MaxCacheEntries: *cache,
+		MaxInFlight:      *inflight,
+		QueueDepth:       *queue,
+		JobQueueDepth:    *jobQueue,
+		MaxCacheEntries:  *cache,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapInterval,
+		ShutdownTimeout:  *shutdownTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -86,14 +121,21 @@ func main() {
 	defer cancel()
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain before closing the listener: /readyz flips to 503 and new
+		// work is shed with 429 while in-flight requests can still finish and
+		// be answered, then the final snapshot lands on disk.
+		log.Printf("signal received; draining (budget %s)", srv.Config().ShutdownTimeout)
+		if err := srv.Drain(context.Background()); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		shutdownCtx, stop := context.WithTimeout(context.Background(), srv.Config().ShutdownTimeout)
 		defer stop()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
 	cfg := srv.Config()
-	log.Printf("serving the proxy library on %s (workers=%d, inflight=%d, queue=%d)",
-		*addr, parallel.Workers(), cfg.MaxInFlight, cfg.QueueDepth)
+	log.Printf("serving the proxy library on %s (workers=%d, inflight=%d, queue=%d, state-dir=%q)",
+		*addr, parallel.Workers(), cfg.MaxInFlight, cfg.QueueDepth, cfg.StateDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -85,6 +85,11 @@ func RunBatch(pool *sim.ClusterPool, b *Benchmark, settings []Setting) ([]sim.Re
 			return nil, err
 		}
 	}
+	for i := range reports {
+		if err := checkReportInvariants(b, reports[i]); err != nil {
+			return nil, fmt.Errorf("core: batch setting %d: %w", i, err)
+		}
+	}
 	return reports, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"dataproxy/internal/arch"
 	"dataproxy/internal/datagen"
 	"dataproxy/internal/motif"
+	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
 )
 
@@ -366,6 +367,24 @@ func TestSplitConservationProperty(t *testing.T) {
 		return total == len(keys)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUnderInvariantChecks enables the perf invariant debug flag and
+// checks a real proxy execution passes the per-measurement pass (hit+miss
+// conservation, extrapolation clamp bounds) — the campaign-mode discipline
+// must hold on the engine's own output, not just on restored snapshots.
+func TestRunUnderInvariantChecks(t *testing.T) {
+	prev := perf.InvariantChecksEnabled()
+	perf.SetInvariantChecks(true)
+	defer perf.SetInvariantChecks(prev)
+	cluster := singleNodeCluster()
+	if _, err := Run(cluster, testBenchmark(), nil); err != nil {
+		t.Fatal(err)
+	}
+	pool := sim.NewClusterPool(cluster)
+	if _, err := RunBatch(pool, testBenchmark(), []Setting{nil, {"dataSize": 1.5}}); err != nil {
 		t.Fatal(err)
 	}
 }

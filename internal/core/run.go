@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dataproxy/internal/motif"
+	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
 )
 
@@ -80,7 +81,27 @@ func Run(cluster *sim.Cluster, b *Benchmark, setting Setting) (sim.Report, error
 		}
 		datasets[e.To] = out
 	}
-	return cluster.Report(b.Name), nil
+	rep := cluster.Report(b.Name)
+	if err := checkReportInvariants(b, rep); err != nil {
+		return sim.Report{}, err
+	}
+	return rep, nil
+}
+
+// checkReportInvariants runs the perf model invariants (hit+miss
+// conservation, extrapolation clamp bounds) over a fresh report when the
+// debug flag is armed (perf.SetInvariantChecks / DATAPROXY_INVARIANTS).
+// Campaigns — tuner sweeps, experiment suites, serving traffic — enable it
+// to turn silent model drift into a loud per-measurement error; the flag
+// check is one atomic load per simulation, nowhere near the hot path.
+func checkReportInvariants(b *Benchmark, rep sim.Report) error {
+	if !perf.InvariantChecksEnabled() {
+		return nil
+	}
+	if err := perf.CheckReport(rep.Aggregate, rep.Metrics); err != nil {
+		return fmt.Errorf("core: %s measurement violates invariants: %w", b.Name, err)
+	}
+	return nil
 }
 
 // effectiveSampleBytes resolves the sample volume actually generated for an

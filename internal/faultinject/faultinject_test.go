@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry armed after Reset")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	want := errors.New("boom")
+	Set("site", Fault{Err: want})
+	if !Enabled() {
+		t.Fatal("registry not armed after Set")
+	}
+	if err := Fire("site"); !errors.Is(err, want) {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	Clear("site")
+	if Enabled() {
+		t.Fatal("registry still armed after clearing the only site")
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("site", Fault{Panic: true, PanicMsg: "injected"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic fault did not panic")
+		} else if r != "injected" {
+			t.Fatalf("panicked with %v", r)
+		}
+	}()
+	_ = Fire("site")
+}
+
+func TestDelayFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("site", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("site"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fault returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestBoundedFiringCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("site", Fault{Err: errors.New("x"), Times: 2})
+	if Fire("site") == nil || Fire("site") == nil {
+		t.Fatal("bounded fault did not fire twice")
+	}
+	if err := Fire("site"); err != nil {
+		t.Fatalf("bounded fault fired a third time: %v", err)
+	}
+}
+
+func TestHookFault(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	called := 0
+	Set("site", Fault{Hook: func() error { called++; return nil }})
+	if err := Fire("site"); err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("hook ran %d times, want 1", called)
+	}
+}
+
+func TestConfigureSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Configure("a=delay:10ms, b=error:oops, c=panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("b"); err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Fatalf("error fault = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("configured panic fault did not panic")
+			}
+		}()
+		_ = Fire("c")
+	}()
+	// The *1 bound is consumed: firing again is inert.
+	if err := Fire("c"); err != nil {
+		t.Fatalf("consumed panic fault fired again: %v", err)
+	}
+	if err := Fire("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigureRejectsMalformedSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"nosign",
+		"site=",
+		"=action",
+		"site=delay:notaduration",
+		"site=fry",
+		"site=panic*0",
+		"site=panic*x",
+	} {
+		if err := Configure(spec); err == nil {
+			t.Errorf("Configure(%q) accepted", spec)
+		}
+	}
+	if Enabled() {
+		t.Fatal("malformed specs armed the registry")
+	}
+	if err := Configure(""); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+}

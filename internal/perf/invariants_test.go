@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validMetrics() Metrics {
+	return Metrics{
+		Runtime: 12.5, ReadBW: 1e9, WriteBW: 5e8, MemBW: 1.5e9, DiskBW: 2e8,
+		IPC: 1.2, MIPS: 3400,
+		LoadRatio: 0.3, StoreRatio: 0.1, BranchRatio: 0.15, IntRatio: 0.3, FloatRatio: 0.15,
+		BranchMissRatio: 0.04,
+		L1IHit:          0.99, L1DHit: 0.95, L2Hit: 0.8, L3Hit: 0.6,
+	}
+}
+
+func TestMetricsValidateAcceptsSaneVector(t *testing.T) {
+	if err := validMetrics().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Metrics{}).Validate(); err != nil {
+		t.Fatalf("zero vector rejected: %v", err)
+	}
+}
+
+func TestMetricsValidateRejectsViolations(t *testing.T) {
+	cases := map[string]func(*Metrics){
+		"NaN runtime":        func(m *Metrics) { m.Runtime = math.NaN() },
+		"infinite bandwidth": func(m *Metrics) { m.MemBW = math.Inf(1) },
+		"negative IPC":       func(m *Metrics) { m.IPC = -0.5 },
+		"hit ratio above 1":  func(m *Metrics) { m.L2Hit = 1.5 },
+		"load ratio above 1": func(m *Metrics) { m.LoadRatio = 2 },
+		"negative miss":      func(m *Metrics) { m.BranchMissRatio = -0.1 },
+	}
+	for name, mutate := range cases {
+		m := validMetrics()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	good := Counters{LoadInstrs: 100, Cycles: 400, L1DAccesses: 100, L1DMisses: 10}
+	if err := CheckReport(good, validMetrics()); err != nil {
+		t.Fatal(err)
+	}
+
+	conservation := good
+	conservation.L1DMisses = 200
+	if err := CheckReport(conservation, validMetrics()); err == nil || !strings.Contains(err.Error(), "misses") {
+		t.Fatalf("miss > access accepted: %v", err)
+	}
+
+	zeroCycles := Counters{LoadInstrs: 100}
+	if err := CheckReport(zeroCycles, validMetrics()); err == nil || !strings.Contains(err.Error(), "zero cycles") {
+		t.Fatalf("instructions without cycles accepted: %v", err)
+	}
+
+	bad := validMetrics()
+	bad.L3Hit = 7
+	if err := CheckReport(good, bad); err == nil {
+		t.Fatal("clamp-bound violation accepted")
+	}
+}
+
+func TestInvariantChecksToggle(t *testing.T) {
+	prev := InvariantChecksEnabled()
+	defer SetInvariantChecks(prev)
+	SetInvariantChecks(true)
+	if !InvariantChecksEnabled() {
+		t.Fatal("enable did not stick")
+	}
+	SetInvariantChecks(false)
+	if InvariantChecksEnabled() {
+		t.Fatal("disable did not stick")
+	}
+}

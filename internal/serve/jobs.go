@@ -37,6 +37,10 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Result holds the tuning outcome of a done job.
 	Result *TuneResult `json:"result,omitempty"`
+	// Request is the full tuning request, retained so an unfinished job can
+	// be snapshotted and re-driven after a restart.  It is deliberately not
+	// part of the GET /v1/jobs/{id} body.
+	Request TuneRequest `json:"-"`
 }
 
 // jobStore is an in-memory job registry.  It is the persistence boundary a
@@ -57,21 +61,62 @@ func newJobStore(cap int) *jobStore {
 }
 
 // create registers a new queued job and returns a snapshot of it.
-func (js *jobStore) create(workload, arch string, now time.Time) Job {
+func (js *jobStore) create(req TuneRequest, now time.Time) Job {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	js.seq++
 	j := &Job{
 		ID:       fmt.Sprintf("job-%d", js.seq),
 		State:    JobQueued,
-		Workload: workload,
-		Arch:     arch,
+		Workload: req.Workload,
+		Arch:     req.Arch,
 		Created:  now,
+		Request:  req,
 	}
 	js.jobs[j.ID] = j
 	js.order = append(js.order, j.ID)
 	js.pruneLocked()
 	return *j
+}
+
+// restore re-installs a job from a snapshot under its ORIGINAL ID, so
+// clients polling a job across a daemon restart keep getting answers.  A
+// snapshotted running job is demoted to queued (its execution died with the
+// old process; the caller re-enqueues it).  The ID counter advances past
+// every restored ID so new jobs never collide with restored ones.  Restoring
+// an ID that already exists is refused: live state beats a stale import.
+func (js *jobStore) restore(j Job) bool {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if _, exists := js.jobs[j.ID]; exists {
+		return false
+	}
+	if j.State == JobRunning {
+		j.State = JobQueued
+	}
+	var n int
+	if _, err := fmt.Sscanf(j.ID, "job-%d", &n); err == nil && n > js.seq {
+		js.seq = n
+	}
+	rec := j
+	js.jobs[j.ID] = &rec
+	js.order = append(js.order, j.ID)
+	js.pruneLocked()
+	return true
+}
+
+// snapshot returns a copy of every job record in creation order, for the
+// state manager to persist.
+func (js *jobStore) snapshot() []Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]Job, 0, len(js.jobs))
+	for _, id := range js.order {
+		if j, ok := js.jobs[id]; ok {
+			out = append(out, *j)
+		}
+	}
+	return out
 }
 
 // pruneLocked drops the oldest finished jobs until the store fits the cap,

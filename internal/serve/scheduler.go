@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"dataproxy/internal/core"
+	"dataproxy/internal/faultinject"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tuner"
@@ -65,9 +66,20 @@ type scheduler struct {
 	// entries or batch duplicates), exactly as EvaluateTracked does.
 	evalFn func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error)
 
+	// draining sheds every new admission with ErrOverloaded once the server
+	// begins a graceful drain; warm cache answers stay available (they cost
+	// no slot) so polling clients are not cut off mid-shutdown.
+	draining atomic.Bool
+
+	// onEvict, when set, receives the outgoing memo of each cache swap before
+	// new requests stop coalescing on it; the state manager archives its
+	// completed entries so a warm restart still benefits from them.
+	onEvict func(old *tuner.Memo)
+
 	executed  atomic.Int64 // simulations actually performed
 	coalesced atomic.Int64 // requests served from the result cache / singleflight
 	shed      atomic.Int64 // requests rejected with ErrOverloaded
+	evictions atomic.Int64 // cache swaps forced by MaxCacheEntries
 }
 
 func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[string]*sim.Cluster) *scheduler {
@@ -83,6 +95,9 @@ func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[strin
 		protos:          protos,
 		pools:           pools,
 		evalFn: func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+			if err := faultinject.Fire("serve.evaluate"); err != nil {
+				return nil, nil, err
+			}
 			return tuner.NewEvaluator(pool, b, memo).EvaluateTracked(settings)
 		},
 	}
@@ -97,10 +112,15 @@ func (sc *scheduler) currentMemo() *tuner.Memo { return sc.memo.Load() }
 
 // maybeEvict swaps in a fresh memo when the cache the caller just used has
 // outgrown the cap.  The compare-and-swap makes concurrent callers evict at
-// most once per full cache.
+// most once per full cache: only the winner counts the eviction and hands
+// the outgoing memo to onEvict, so the archive never sees the same
+// generation twice and losers do not re-evict the fresh memo.
 func (sc *scheduler) maybeEvict(used *tuner.Memo) {
-	if used.Size() > sc.maxCacheEntries {
-		sc.memo.CompareAndSwap(used, tuner.NewMemo())
+	if used.Size() > sc.maxCacheEntries && sc.memo.CompareAndSwap(used, tuner.NewMemo()) {
+		sc.evictions.Add(1)
+		if sc.onEvict != nil {
+			sc.onEvict(used)
+		}
 	}
 }
 
@@ -250,8 +270,12 @@ func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benc
 // acquire admits the calling request: it joins the admission queue if there
 // is room (maxInFlight executing + queueDepth waiting) and then blocks until
 // an execution slot or cancellation.  It returns ErrOverloaded when the
-// queue is full.
+// queue is full or the server is draining.
 func (sc *scheduler) acquire(ctx context.Context) error {
+	if sc.draining.Load() {
+		sc.shed.Add(1)
+		return ErrOverloaded
+	}
 	if sc.admitted.Add(1) > int64(sc.maxInFlight+sc.queueDepth) {
 		sc.admitted.Add(-1)
 		sc.shed.Add(1)

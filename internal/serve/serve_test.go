@@ -554,9 +554,9 @@ func TestTuneRejectsBadRequests(t *testing.T) {
 func TestJobStorePrunesOldestFinished(t *testing.T) {
 	js := newJobStore(2)
 	now := time.Unix(0, 0)
-	a := js.create("terasort", "westmere", now)
-	b := js.create("kmeans", "westmere", now)
-	c := js.create("pagerank", "westmere", now)
+	a := js.create(TuneRequest{Workload: "terasort", Arch: "westmere"}, now)
+	b := js.create(TuneRequest{Workload: "kmeans", Arch: "westmere"}, now)
+	c := js.create(TuneRequest{Workload: "pagerank", Arch: "westmere"}, now)
 	js.finish(a.ID, nil, nil, now)
 	if _, ok := js.get(a.ID); ok {
 		t.Fatal("oldest finished job should have been pruned at cap 2")
@@ -568,7 +568,7 @@ func TestJobStorePrunesOldestFinished(t *testing.T) {
 	}
 	js.finish(b.ID, nil, nil, now)
 	js.finish(c.ID, nil, nil, now)
-	d := js.create("alexnet", "westmere", now)
+	d := js.create(TuneRequest{Workload: "alexnet", Arch: "westmere"}, now)
 	if _, ok := js.get(b.ID); ok {
 		t.Fatal("job b should have been pruned when d arrived")
 	}

@@ -3,8 +3,17 @@
 // executes a proxy benchmark under a tuning setting on a chosen architecture
 // profile and returns its virtual runtime and metric vector; POST /v1/tune
 // kicks off asynchronous proxy qualification polled via GET /v1/jobs/{id};
-// GET /v1/workloads and GET /v1/archs enumerate the library; GET /healthz
-// and GET /metrics expose liveness and request/cache/queue counters.
+// GET /v1/workloads and GET /v1/archs enumerate the library; GET /healthz,
+// GET /readyz and GET /metrics expose liveness, readiness (503 while
+// restoring or draining) and request/cache/queue/durability counters.
+//
+// With Config.StateDir set the daemon is crash-safe: the result cache and
+// job table are snapshotted through internal/snapshot (checksummed records,
+// atomic renames) periodically and on graceful drain, and restored — with
+// every record re-validated — at the next start, so an interrupted tune job
+// is re-enqueued and converges against the restored cache instead of
+// repeating finished measurements.  Damaged or future-version snapshots
+// degrade to a cold start, never to a crash.
 //
 // The layer reuses the repository's load-bearing contracts rather than
 // inventing new ones: all compute fans out on the internal/parallel token
@@ -17,6 +26,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +38,7 @@ import (
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
+	"dataproxy/internal/faultinject"
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
@@ -60,6 +71,16 @@ type Config struct {
 	// finished jobs are pruned (queued/running jobs never are).  Zero
 	// selects 1024.
 	MaxJobHistory int
+	// StateDir, when non-empty, makes the server durable: the result cache
+	// and job table are restored from StateDir at startup and snapshotted
+	// back periodically and on graceful drain.  Empty disables persistence.
+	StateDir string
+	// SnapshotInterval is the cadence of background snapshots when StateDir
+	// is set.  Zero selects 30 seconds.
+	SnapshotInterval time.Duration
+	// ShutdownTimeout bounds how long Drain waits for in-flight work before
+	// snapshotting and giving up.  Zero selects 10 seconds.
+	ShutdownTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobHistory <= 0 {
 		c.MaxJobHistory = 1024
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -101,6 +128,14 @@ type Server struct {
 	stop      chan struct{}
 	closeOnce sync.Once
 	done      sync.WaitGroup
+
+	// state is the durability manager, nil unless Config.StateDir is set.
+	// ready flips once startup restore has finished; draining flips when a
+	// graceful drain begins.  /readyz reports 503 outside the window between
+	// them while /healthz stays pure liveness.
+	state    *stateManager
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	httpInFlight atomic.Int64
 	reqMu        sync.Mutex
@@ -140,9 +175,77 @@ func New(cfg Config) (*Server, error) {
 		now:       time.Now,
 	}
 	s.routes()
+	if cfg.StateDir != "" {
+		s.state = newStateManager(cfg.StateDir, s)
+		s.sched.onEvict = s.state.archive
+		// Restore before serving: the handler is not yet registered with a
+		// listener, so /readyz could only answer 503 during this window.
+		s.state.restore()
+		s.done.Add(1)
+		go s.state.snapshotLoop(cfg.SnapshotInterval)
+	}
+	s.ready.Store(true)
 	s.done.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// Drain gracefully quiesces the server for shutdown: new work is shed with
+// 429 while read-only routes keep answering, then Drain waits up to
+// Config.ShutdownTimeout (or ctx, whichever ends first) for in-flight
+// executions and the running tune job to finish, snapshots (when a state
+// directory is configured) and stops the dispatcher.  On timeout it still
+// snapshots — an unfinished job is persisted as running and re-enqueued by
+// the next start, which is the same recovery path a crash takes — and
+// returns the timeout error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.sched.draining.Store(true)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
+	defer cancel()
+	err := s.awaitIdle(ctx)
+	if s.state != nil {
+		if serr := s.snapshotNow(); err == nil {
+			err = serr
+		}
+	}
+	if err == nil {
+		// Everything finished and is on disk: stop the dispatcher cleanly.
+		s.Close()
+	} else {
+		// Timed out (or the snapshot failed): release waiters without
+		// blocking on the still-running job.
+		s.closeOnce.Do(func() { close(s.stop) })
+	}
+	return err
+}
+
+// awaitIdle polls until no request holds an execution slot and no tune job
+// is running, or ctx expires.
+func (s *Server) awaitIdle(ctx context.Context) error {
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.sched.inFlight() == 0 && s.jobs.counts()[JobRunning] == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain timed out with work in flight: %w", ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// SnapshotNow writes a snapshot immediately.  It is a no-op without a state
+// directory.
+func (s *Server) SnapshotNow() error { return s.snapshotNow() }
+
+func (s *Server) snapshotNow() error {
+	if s.state == nil {
+		return nil
+	}
+	return s.state.snapshotNow()
 }
 
 // Close stops the job dispatcher and waits for an in-flight job to finish.
@@ -160,6 +263,7 @@ func (s *Server) Config() Config { return s.cfg }
 
 func (s *Server) routes() {
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/workloads", s.handleWorkloads)
 	s.handle("GET /v1/archs", s.handleArchs)
@@ -446,7 +550,12 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job := s.jobs.create(req.Workload, req.Arch, s.now())
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, errors.New("serve: draining"))
+		return
+	}
+	job := s.jobs.create(req, s.now())
 	select {
 	case s.tuneQueue <- tuneJob{id: job.ID, req: req}:
 		writeJSON(w, http.StatusAccepted, TuneResponse{JobID: job.ID, State: job.State})
@@ -521,6 +630,12 @@ func (s *Server) dispatch() {
 		case <-s.stop:
 			return
 		case tj := <-s.tuneQueue:
+			if s.draining.Load() {
+				// The job record stays queued; the drain snapshot persists it
+				// and the next start re-enqueues it, exactly like a job that
+				// never left the queue.
+				continue
+			}
 			s.jobs.setRunning(tj.id)
 			res, err := s.safeExecuteTune(tj.req)
 			s.jobs.finish(tj.id, res, err, s.now())
@@ -544,6 +659,9 @@ func (s *Server) safeExecuteTune(req TuneRequest) (res *TuneResult, err error) {
 // the scheduler's result memo so every proxy evaluation the tuner performs
 // lands in the same cache /v1/run answers from (and vice versa).
 func (s *Server) executeTune(req TuneRequest) (*TuneResult, error) {
+	if err := faultinject.Fire("serve.tune"); err != nil {
+		return nil, err
+	}
 	b, err := proxy.ForWorkload(req.Workload)
 	if err != nil {
 		return nil, err
@@ -680,8 +798,25 @@ func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.  It
+// deliberately never looks at restore or drain state — an orchestrator must
+// not kill a pod for being mid-drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only when startup restore has completed and
+// the server is not draining, 503 otherwise so load balancers stop routing
+// new work while the daemon is warming up or shutting down.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "restoring"})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // handleMetrics renders the Prometheus-style exposition: request counts per
@@ -705,10 +840,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "proxyd_run_shed_total %d\n", s.sched.shed.Load())
 	fmt.Fprintf(w, "proxyd_sched_in_flight %d\n", s.sched.inFlight())
 	fmt.Fprintf(w, "proxyd_result_cache_entries %d\n", s.sched.currentMemo().Size())
+	fmt.Fprintf(w, "proxyd_cache_evictions_total %d\n", s.sched.evictions.Load())
 	counts := s.jobs.counts()
 	for _, state := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
 		fmt.Fprintf(w, "proxyd_jobs{state=%q} %d\n", state, counts[state])
 	}
+	fmt.Fprintf(w, "proxyd_ready %d\n", boolGauge(s.ready.Load()))
+	fmt.Fprintf(w, "proxyd_draining %d\n", boolGauge(s.draining.Load()))
+	s.writeDurabilityMetrics(w)
+}
+
+// writeDurabilityMetrics renders the snapshot/restore gauges.  They are
+// emitted even without a state directory (as zeros, with outcome "none") so
+// scrapers see a stable exposition either way.
+func (s *Server) writeDurabilityMetrics(w http.ResponseWriter) {
+	outcome := RestoreNone
+	var restored, invalid, reenqueued, writeErrors, lastSize int64
+	var age float64
+	if s.state != nil {
+		outcome = s.state.outcome()
+		restored = s.state.restoredEntries.Load()
+		invalid = s.state.invalidEntries.Load()
+		reenqueued = s.state.reenqueuedJobs.Load()
+		writeErrors = s.state.writeErrors.Load()
+		lastSize = s.state.lastSnapshotSize.Load()
+		if unix := s.state.lastSnapshotUnix.Load(); unix > 0 {
+			age = s.now().Sub(time.Unix(unix, 0)).Seconds()
+		}
+	}
+	for _, o := range []string{RestoreNone, RestoreOK, RestoreCorrupt, RestoreVersionMismatch} {
+		fmt.Fprintf(w, "proxyd_restore_outcome{outcome=%q} %d\n", o, boolGauge(o == outcome))
+	}
+	fmt.Fprintf(w, "proxyd_restored_entries_total %d\n", restored)
+	fmt.Fprintf(w, "proxyd_restore_invalid_entries_total %d\n", invalid)
+	fmt.Fprintf(w, "proxyd_jobs_reenqueued_total %d\n", reenqueued)
+	fmt.Fprintf(w, "proxyd_snapshot_write_errors_total %d\n", writeErrors)
+	fmt.Fprintf(w, "proxyd_snapshot_last_size_bytes %d\n", lastSize)
+	fmt.Fprintf(w, "proxyd_snapshot_last_age_seconds %g\n", age)
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // decodeJSON decodes the request body strictly: unknown fields are errors so

@@ -1,0 +1,276 @@
+// Package snapshot implements the on-disk durability codec of the proxyd
+// serving layer: a versioned, checksummed, length-prefixed record stream
+// that exports and imports the completed entries of a measurement memo
+// (tuner.MemoKey → canonical perf.Metrics JSON bytes, which are already
+// byte-deterministic) and the pending/running tune-job table.
+//
+// The format is designed so that a damaged snapshot is always *detected*
+// and never *trusted*: every record carries a CRC-32 checksum, the stream
+// ends in a trailer that commits the record count (so truncation at a
+// record boundary is caught too), and the header carries a format version
+// that future readers bump on incompatible change.  Readers classify every
+// failure as ErrCorrupt or ErrVersion so the serving layer can count the
+// outcome and fall back to a cold start — a bad snapshot must never crash
+// the daemon or poison its cache.
+//
+// Encoding the same State twice produces byte-identical files; callers
+// that want deterministic snapshots must present entries in a fixed order
+// (tuner.Memo.Export returns them sorted by key).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current snapshot format version.  Bump it on any
+// incompatible layout change; readers reject snapshots from a newer format
+// with ErrVersion (and the serving layer falls back to a cold start).
+const Version = 1
+
+// magic identifies a dataproxy snapshot file.
+var magic = [8]byte{'D', 'P', 'X', 'S', 'N', 'A', 'P', '\x00'}
+
+// maxPayload bounds a single record so a corrupted length prefix cannot
+// drive a multi-gigabyte allocation before its checksum is verified.
+const maxPayload = 64 << 20
+
+// Record kinds.
+const (
+	kindMemo    = 0x01
+	kindJob     = 0x02
+	kindTrailer = 0xFF
+)
+
+var (
+	// ErrCorrupt reports a snapshot that is damaged: bad magic, a failed
+	// record checksum, a truncated stream, a record-count mismatch or
+	// trailing garbage.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	// ErrVersion reports a snapshot written by an unsupported (newer) format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported version")
+)
+
+// State is the durable state of one serving process: the completed
+// measurement-memo entries and the tune-job table.  Payload bytes are
+// opaque to this package — the memo metrics are canonical perf.Metrics
+// JSON and the job payloads are the serving layer's own job records — so
+// the codec has no dependency on the layers it persists.
+type State struct {
+	// MemoEntries are the completed, successful measurements.
+	MemoEntries []MemoEntry
+	// Jobs are the serialized job records (every state; the serving layer
+	// decides which of them to re-enqueue on restore).
+	Jobs []JobEntry
+}
+
+// MemoEntry is one completed measurement: the bit-exact memo key and the
+// canonical JSON encoding of its metric vector.
+type MemoEntry struct {
+	Key     string
+	Metrics []byte
+}
+
+// JobEntry is one serialized tune-job record.
+type JobEntry struct {
+	Payload []byte
+}
+
+// Encode writes st to w in the versioned record format.  It is
+// deterministic: the same State always encodes to the same bytes.
+func Encode(w io.Writer, st *State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return err
+	}
+	records := 0
+	var scratch []byte
+	for _, e := range st.MemoEntries {
+		scratch = scratch[:0]
+		scratch = binary.AppendUvarint(scratch, uint64(len(e.Key)))
+		scratch = append(scratch, e.Key...)
+		scratch = append(scratch, e.Metrics...)
+		if err := writeRecord(bw, kindMemo, scratch); err != nil {
+			return err
+		}
+		records++
+	}
+	for _, j := range st.Jobs {
+		if err := writeRecord(bw, kindJob, j.Payload); err != nil {
+			return err
+		}
+		records++
+	}
+	var trailer []byte
+	trailer = binary.AppendUvarint(trailer, uint64(records))
+	if err := writeRecord(bw, kindTrailer, trailer); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeRecord emits one record: kind byte, uvarint payload length, payload,
+// and a CRC-32 (IEEE) over the kind and payload bytes.
+func writeRecord(w *bufio.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("snapshot: record of %d bytes exceeds the %d-byte limit", len(payload), maxPayload)
+	}
+	if err := w.WriteByte(kind); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{kind})
+	crc.Write(payload)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// Decode reads a State back from r.  Any damage — bad magic, checksum
+// failure, truncation, record-count mismatch, trailing garbage — returns an
+// error wrapping ErrCorrupt; a snapshot from a newer format version returns
+// an error wrapping ErrVersion.  On error the returned State is nil: a
+// damaged snapshot contributes nothing rather than a prefix of unknown
+// integrity.
+func Decode(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if [8]byte(head[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(head[8:]); v != Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	st := &State{}
+	records := 0
+	for {
+		kind, payload, err := readRecord(br)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case kindMemo:
+			keyLen, n := binary.Uvarint(payload)
+			if n <= 0 || keyLen > uint64(len(payload)-n) {
+				return nil, fmt.Errorf("%w: malformed memo entry", ErrCorrupt)
+			}
+			key := string(payload[n : n+int(keyLen)])
+			metrics := append([]byte(nil), payload[n+int(keyLen):]...)
+			st.MemoEntries = append(st.MemoEntries, MemoEntry{Key: key, Metrics: metrics})
+		case kindJob:
+			st.Jobs = append(st.Jobs, JobEntry{Payload: append([]byte(nil), payload...)})
+		case kindTrailer:
+			count, n := binary.Uvarint(payload)
+			if n <= 0 || count != uint64(records) {
+				return nil, fmt.Errorf("%w: trailer commits %d records, stream carries %d", ErrCorrupt, count, records)
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("%w: trailing bytes after trailer", ErrCorrupt)
+			}
+			return st, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown record kind 0x%02x", ErrCorrupt, kind)
+		}
+		records++
+	}
+}
+
+// readRecord reads and checksum-verifies one record.  A stream that ends
+// before the trailer is truncation, reported as ErrCorrupt.
+func readRecord(br *bufio.Reader) (byte, []byte, error) {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated before trailer", ErrCorrupt)
+	}
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated record length", ErrCorrupt)
+	}
+	if payloadLen > maxPayload {
+		return 0, nil, fmt.Errorf("%w: record length %d exceeds the %d-byte limit", ErrCorrupt, payloadLen, maxPayload)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated record payload", ErrCorrupt)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated record checksum", ErrCorrupt)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{kind})
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		return 0, nil, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	}
+	return kind, payload, nil
+}
+
+// WriteFile atomically replaces path with the encoding of st: the snapshot
+// is written to a temporary sibling, synced, and renamed into place, so a
+// crash mid-write leaves the previous snapshot intact and a reader never
+// observes a half-written file.  It returns the encoded size in bytes.
+func WriteFile(path string, st *State) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Encode(tmp, st); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// ReadFile decodes the snapshot at path.  A missing file returns an error
+// satisfying os.IsNotExist (distinct from corruption: a first boot has no
+// snapshot, a damaged one has a bad snapshot).
+func ReadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,221 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomState builds a State with randomized keys, metric payloads and job
+// payloads, including awkward shapes (empty payloads, binary bytes, long
+// keys).
+func randomState(rng *rand.Rand) *State {
+	st := &State{}
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		key := make([]byte, rng.Intn(200))
+		rng.Read(key)
+		metrics := make([]byte, rng.Intn(400))
+		rng.Read(metrics)
+		st.MemoEntries = append(st.MemoEntries, MemoEntry{Key: string(key), Metrics: metrics})
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		payload := make([]byte, rng.Intn(300))
+		rng.Read(payload)
+		st.Jobs = append(st.Jobs, JobEntry{Payload: payload})
+	}
+	return st
+}
+
+// stateEqual compares states treating nil and empty byte slices as equal
+// (Decode materialises empty payloads as non-nil slices).
+func stateEqual(a, b *State) bool {
+	if len(a.MemoEntries) != len(b.MemoEntries) || len(a.Jobs) != len(b.Jobs) {
+		return false
+	}
+	for i := range a.MemoEntries {
+		if a.MemoEntries[i].Key != b.MemoEntries[i].Key ||
+			!bytes.Equal(a.MemoEntries[i].Metrics, b.MemoEntries[i].Metrics) {
+			return false
+		}
+	}
+	for i := range a.Jobs {
+		if !bytes.Equal(a.Jobs[i].Payload, b.Jobs[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTripProperty encodes randomized states and checks the decode is
+// bit-identical in content and the encoding itself is deterministic.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		st := randomState(rng)
+		var buf1, buf2 bytes.Buffer
+		if err := Encode(&buf1, st); err != nil {
+			t.Fatal(err)
+		}
+		if err := Encode(&buf2, st); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("trial %d: encoding is not deterministic", trial)
+		}
+		got, err := Decode(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !stateEqual(st, got) {
+			t.Fatalf("trial %d: round trip diverged:\nin  %+v\nout %+v", trial, st, got)
+		}
+	}
+}
+
+func TestEmptyStateRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &State{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MemoEntries) != 0 || len(got.Jobs) != 0 {
+		t.Fatalf("empty state decoded as %+v", got)
+	}
+}
+
+// TestBitFlipsAreDetected flips every byte of an encoded snapshot in turn
+// and checks the decoder always reports ErrCorrupt or ErrVersion — never a
+// silent success with altered content, never a panic.
+func TestBitFlipsAreDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st := randomState(rng)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := range clean {
+		flipped := append([]byte(nil), clean...)
+		flipped[i] ^= 0x40
+		got, err := Decode(bytes.NewReader(flipped))
+		if err == nil {
+			// A flip inside a length varint's redundant encoding could in
+			// principle decode; content must still be intact then.
+			if !stateEqual(st, got) {
+				t.Fatalf("flip at byte %d decoded successfully with altered content", i)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("flip at byte %d: error %v is neither ErrCorrupt nor ErrVersion", i, err)
+		}
+	}
+}
+
+// TestTruncationIsDetected cuts the encoded snapshot at every length and
+// checks truncation always surfaces as ErrCorrupt.
+func TestTruncationIsDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	st := randomState(rng)
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for cut := 0; cut < len(clean); cut++ {
+		_, err := Decode(bytes.NewReader(clean[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d/%d bytes: err = %v, want ErrCorrupt", cut, len(clean), err)
+		}
+	}
+}
+
+func TestFutureVersionIsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &State{MemoEntries: []MemoEntry{{Key: "k", Metrics: []byte("{}")}}}); err != nil {
+		t.Fatal(err)
+	}
+	future := buf.Bytes()
+	binary.LittleEndian.PutUint32(future[8:], Version+1)
+	if _, err := Decode(bytes.NewReader(future)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestTrailingGarbageIsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &State{}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('x')
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	st := &State{
+		MemoEntries: []MemoEntry{{Key: "a|b|c", Metrics: []byte(`{"runtime":1.5}`)}},
+		Jobs:        []JobEntry{{Payload: []byte(`{"id":"job-1"}`)}},
+	}
+	size, err := WriteFile(path, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != info.Size() {
+		t.Fatalf("WriteFile reported %d bytes, file has %d", size, info.Size())
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stateEqual(st, got) {
+		t.Fatalf("file round trip diverged: %+v", got)
+	}
+	// No temporary files may survive the atomic rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("state dir holds %d entries after WriteFile, want 1", len(entries))
+	}
+}
+
+func TestReadFileMissingIsNotExist(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent.snap"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing snapshot: err = %v, want IsNotExist", err)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	for i := 0; i < 3; i++ {
+		st := &State{MemoEntries: []MemoEntry{{Key: fmt.Sprintf("k%d", i), Metrics: []byte("{}")}}}
+		if _, err := WriteFile(path, st); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MemoEntries[0].Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("generation %d: read key %q", i, got.MemoEntries[0].Key)
+		}
+	}
+}

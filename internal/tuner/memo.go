@@ -2,6 +2,7 @@ package tuner
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -223,4 +224,55 @@ func (m *Memo) Size() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.entries)
+}
+
+// ExportedEntry is one completed, successful measurement as exported by
+// Export for snapshotting.
+type ExportedEntry struct {
+	// Key is the bit-exact memo key (MemoKey discipline).
+	Key string
+	// Metrics is the measured metric vector.
+	Metrics perf.Metrics
+}
+
+// Export returns every completed, successful measurement sorted by key, so
+// a snapshot of the same memo state is byte-deterministic.  In-flight
+// entries and cached errors are deliberately ephemeral: an error caches the
+// *attempt* so a failing setting is not hammered within one process
+// lifetime, but a restart should retry it — and a half-measured entry has
+// nothing durable to offer.
+func (m *Memo) Export() []ExportedEntry {
+	m.mu.Lock()
+	out := make([]ExportedEntry, 0, len(m.entries))
+	for key, e := range m.entries {
+		if e.done.Load() && e.err == nil {
+			out = append(out, ExportedEntry{Key: key, Metrics: e.metrics})
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore pre-completes key with a previously exported measurement, so a
+// warm-started memo answers Peek/PeekBytes (and absorbs Measure calls as
+// hits) exactly as the memo the snapshot was taken from.  It reports
+// whether the entry was installed: a key that already exists — measured,
+// claimed or restored earlier — is left untouched, so a live measurement
+// always beats a stale import.
+func (m *Memo) Restore(key string, metrics perf.Metrics) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	if _, exists := m.entries[key]; exists {
+		return false
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	e.claimed.Store(true)
+	e.metrics = metrics
+	e.complete()
+	m.entries[key] = e
+	return true
 }
