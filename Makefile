@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
+.PHONY: build test test-full test-sim-short test-sim-nondeterminism test-sim-import-export test-sim-multi-seed test-fuzz bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
 
 ## build: compile every package and command
 build:
@@ -13,6 +13,45 @@ test:
 ## test-full: the full paper-scale test suite (tier-1 gate)
 test-full:
 	$(GO) test -timeout 30m ./...
+
+## test-sim-short: the PR-sized randomized campaign suite — short campaign
+## configs on both architecture profiles: worker-count determinism,
+## export/restore round-trips, model-invariant gates and the injected-failure
+## harness checks (a planted invariant violation and a planted map-order
+## nondeterminism must both fail the run)
+test-sim-short:
+	$(GO) test -count=1 -timeout 10m ./internal/campaign
+
+## test-sim-nondeterminism: just the determinism slice of the campaign suite
+## (same seed must produce byte-identical reports at 1, 2 and 8 workers, and
+## planted map-iteration ordering must be caught)
+test-sim-nondeterminism:
+	$(GO) test -count=1 -run 'Determinism|MapOrder' -timeout 10m ./internal/campaign
+
+## test-sim-import-export: just the snapshot slice of the campaign suite
+## (mid-campaign export, restore in a fresh runner, damaged-state rejection)
+test-sim-import-export:
+	$(GO) test -count=1 -run 'ImportExport|SnapshotFileRoundTrip|ResumeRejects' -timeout 10m ./internal/campaign
+
+## test-sim-multi-seed: the nightly campaign sweep — 25 consecutive seeds of
+## the full default campaign config with the per-measurement model-invariant
+## checks armed, run as two separate processes whose per-seed digest lists
+## must be byte-identical (cross-process determinism at scale)
+test-sim-multi-seed:
+	$(GO) build -o /tmp/dataproxy-campaign ./cmd/campaign
+	/tmp/dataproxy-campaign -seed 1 -seeds 25 -invariants > /tmp/dataproxy-sweep-a.txt
+	/tmp/dataproxy-campaign -seed 1 -seeds 25 -invariants > /tmp/dataproxy-sweep-b.txt
+	cmp /tmp/dataproxy-sweep-a.txt /tmp/dataproxy-sweep-b.txt
+	@cat /tmp/dataproxy-sweep-a.txt
+	@rm -f /tmp/dataproxy-campaign /tmp/dataproxy-sweep-a.txt /tmp/dataproxy-sweep-b.txt
+
+## test-fuzz: a 10s native-fuzz smoke run per committed fuzz target (the
+## corpora under testdata/fuzz replay in the ordinary test suite; this digs
+## for new inputs)
+test-fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzSettingCanonical -fuzztime=10s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzRunRequest -fuzztime=10s ./internal/serve
 
 ## bench: run every benchmark once (tables/figures + kernel speedups)
 bench:

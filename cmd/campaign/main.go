@@ -1,0 +1,184 @@
+// Command campaign runs multi-seed randomized simulation campaigns — the
+// qualification harness of internal/campaign — from the command line, in
+// the shapes CI consumes:
+//
+//	campaign -seed 1                        # one campaign, report on stdout
+//	campaign -seed 1 -seeds 25 -invariants  # multi-seed sweep, armed gates
+//	campaign -seed 1 -verify-workers 1,2,8  # nondeterminism check
+//	campaign -seed 1 -export s.snap -export-after 3   # checkpoint mid-run
+//	campaign -resume s.snap                 # continue from the checkpoint
+//
+// Output is exactly the deterministic report bytes (JSON), so two
+// invocations with the same seed can be compared with cmp(1) — which is
+// how the CI nondeterminism and import/export end-to-end checks work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dataproxy/internal/campaign"
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	var (
+		seed        = flag.Uint64("seed", 1, "campaign seed")
+		seeds       = flag.Int("seeds", 1, "number of consecutive seeds to run, starting at -seed")
+		steps       = flag.Int("steps", 0, "steps per campaign (0 = default)")
+		workers     = flag.Int("workers", 0, "host worker count (0 = all cores)")
+		profiles    = flag.String("profiles", "", "comma-separated architecture profiles (default westmere,haswell)")
+		workloads   = flag.String("workloads", "", "comma-separated proxy workloads (default terasort,kmeans,pagerank)")
+		maxSettings = flag.Int("max-settings", 0, "max settings per eval step (0 = default)")
+		traceTasks  = flag.Int("trace-tasks", 0, "tasks per trace step (0 = default)")
+		traceOps    = flag.Int("trace-ops", 0, "operations per trace task (0 = default)")
+		out         = flag.String("out", "", "write the report to this file instead of stdout")
+		exportPath  = flag.String("export", "", "write a mid-campaign snapshot to this file")
+		exportAfter = flag.Int("export-after", -1, "take the -export snapshot after this many steps (default: half)")
+		resumePath  = flag.String("resume", "", "resume from this snapshot instead of starting fresh")
+		verify      = flag.String("verify-workers", "", "comma-separated worker counts: run the campaign once per count and fail unless reports are byte-identical")
+		invariants  = flag.Bool("invariants", false, "arm the per-measurement model-invariant checks")
+	)
+	flag.Parse()
+
+	if *invariants {
+		perf.SetInvariantChecks(true)
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	cfg := campaign.Config{
+		Seed:        *seed,
+		Steps:       *steps,
+		Workloads:   splitList(*workloads),
+		Profiles:    splitList(*profiles),
+		MaxSettings: *maxSettings,
+		TraceTasks:  *traceTasks,
+		TraceOps:    *traceOps,
+	}
+
+	buf, err := run(cfg, *seeds, *resumePath, *verify, *exportPath, *exportAfter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	os.Stdout.Write(buf)
+}
+
+// run dispatches the selected mode and returns the deterministic report
+// bytes.
+func run(cfg campaign.Config, seeds int, resumePath, verify, exportPath string, exportAfter int) ([]byte, error) {
+	switch {
+	case resumePath != "":
+		r, err := campaign.ResumeFile(resumePath)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := r.Run()
+		if err != nil {
+			return nil, err
+		}
+		return rep.Encode()
+	case verify != "":
+		counts, err := parseInts(verify)
+		if err != nil {
+			return nil, err
+		}
+		return campaign.VerifyDeterminism(cfg, counts)
+	case seeds > 1:
+		return runSweep(cfg, seeds)
+	default:
+		return runOne(cfg, exportPath, exportAfter)
+	}
+}
+
+// runOne runs a single campaign, optionally checkpointing mid-run.
+func runOne(cfg campaign.Config, exportPath string, exportAfter int) ([]byte, error) {
+	r, err := campaign.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if exportPath != "" {
+		n := len(r.Instance().Steps)
+		if exportAfter < 0 || exportAfter > n {
+			exportAfter = n / 2
+		}
+		for i := 0; i < exportAfter; i++ {
+			if err := r.Step(); err != nil {
+				return nil, err
+			}
+		}
+		if err := r.WriteSnapshot(exportPath); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Encode()
+}
+
+// runSweep runs consecutive seeds and emits one digest line per seed plus
+// a sweep digest — compact, deterministic, cmp(1)-comparable output for
+// the nightly multi-seed job.
+func runSweep(cfg campaign.Config, seeds int) ([]byte, error) {
+	list := make([]uint64, seeds)
+	for i := range list {
+		list[i] = cfg.Seed + uint64(i)
+	}
+	reports, err := campaign.RunSeeds(cfg, list)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for _, rep := range reports {
+		digest, err := rep.Digest()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "seed %d steps %d evals %d hits %d %s\n",
+			rep.Seed, len(rep.Steps), rep.Evaluations, rep.CacheHits, digest)
+	}
+	return []byte(sb.String()), nil
+}
+
+// splitList splits a comma-separated flag value; empty means default.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad worker count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

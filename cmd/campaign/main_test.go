@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dataproxy/internal/campaign"
+)
+
+// testCfg is a campaign small enough for unit tests: one workload, one
+// profile, four steps of tiny traces.
+func testCfg(seed uint64) campaign.Config {
+	return campaign.Config{
+		Seed:        seed,
+		Steps:       4,
+		Workloads:   []string{"terasort"},
+		Profiles:    []string{"westmere"},
+		MaxSettings: 2,
+		TraceTasks:  2,
+		TraceOps:    60,
+	}
+}
+
+// TestRunOneIsDeterministic drives the CLI's single-campaign path twice and
+// compares the report bytes — the same property the CI e2e checks across
+// processes.
+func TestRunOneIsDeterministic(t *testing.T) {
+	a, err := run(testCfg(7), 1, "", "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(testCfg(7), 1, "", "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs of the same seed produced different report bytes")
+	}
+}
+
+// TestExportThenResumeMatchesStraightRun checkpoints mid-run via the CLI
+// path, resumes from the file, and requires the bit-identical final report.
+func TestExportThenResumeMatchesStraightRun(t *testing.T) {
+	straight, err := run(testCfg(9), 1, "", "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "camp.snap")
+	exported, err := run(testCfg(9), 1, "", "", snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(straight, exported) {
+		t.Fatal("taking a snapshot perturbed the report")
+	}
+	resumed, err := run(campaign.Config{}, 1, snap, "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(straight, resumed) {
+		t.Fatal("resumed report diverges from the uninterrupted run")
+	}
+}
+
+// TestVerifyWorkersPath drives the -verify-workers dispatch.
+func TestVerifyWorkersPath(t *testing.T) {
+	if _, err := run(testCfg(7), 1, "", "1,2", "", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(testCfg(7), 1, "", "1,zero", "", -1); err == nil {
+		t.Fatal("bad worker list accepted")
+	}
+}
+
+// TestSweepEmitsOneLinePerSeedDeterministically drives the multi-seed path.
+func TestSweepEmitsOneLinePerSeedDeterministically(t *testing.T) {
+	a, err := run(testCfg(1), 3, "", "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(a, []byte("\n")); n != 3 {
+		t.Fatalf("sweep of 3 seeds emitted %d lines:\n%s", n, a)
+	}
+	b, err := run(testCfg(1), 3, "", "", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("sweep digests are not reproducible")
+	}
+}
+
+// TestResumeRejectsMissingFile covers the resume error path.
+func TestResumeRejectsMissingFile(t *testing.T) {
+	if _, err := run(campaign.Config{}, 1, filepath.Join(t.TempDir(), "nope.snap"), "", "", -1); err == nil {
+		t.Fatal("resume from a missing snapshot should fail")
+	}
+}
+
+// TestFlagHelpers pins the list-parsing helpers.
+func TestFlagHelpers(t *testing.T) {
+	if got := splitList(" a, b ,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("splitList: %#v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %#v, want nil", got)
+	}
+	counts, err := parseInts(" 1, 2 ,8")
+	if err != nil || !reflect.DeepEqual(counts, []int{1, 2, 8}) {
+		t.Fatalf("parseInts: %v %v", counts, err)
+	}
+	for _, bad := range []string{"0", "-1", "x", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("parseInts(%q) accepted", bad)
+		}
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
 	"strings"
 
 	"dataproxy/internal/arch"
@@ -54,7 +53,7 @@ func main() {
 	}
 
 	if *settingsSpec != "" {
-		settings, err := parseSettings(*settingsSpec)
+		settings, err := core.ParseSettings(*settingsSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,40 +82,6 @@ func main() {
 
 	fmt.Printf("%s on %s\n", b.Name, profile.Name)
 	printReport(rep)
-}
-
-// parseSettings parses the -settings sweep spec: ';'-separated settings, each
-// a comma-separated list of name=factor pairs.  An empty entry is the default
-// setting.
-func parseSettings(spec string) ([]core.Setting, error) {
-	entries := strings.Split(spec, ";")
-	settings := make([]core.Setting, len(entries))
-	for i, entry := range entries {
-		s := core.Setting{}
-		for _, pair := range strings.Split(entry, ",") {
-			pair = strings.TrimSpace(pair)
-			if pair == "" {
-				continue
-			}
-			name, value, ok := strings.Cut(pair, "=")
-			if !ok {
-				return nil, fmt.Errorf("setting %d: %q is not name=factor", i, pair)
-			}
-			f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
-			if err != nil {
-				return nil, fmt.Errorf("setting %d: parsing %q: %v", i, pair, err)
-			}
-			s[strings.TrimSpace(name)] = f
-		}
-		if len(s) == 0 {
-			s = core.DefaultSetting()
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("setting %d: %v", i, err)
-		}
-		settings[i] = s
-	}
-	return settings, nil
 }
 
 // formatSetting renders a setting's non-default factors in the stable

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dataproxy/internal/perf"
+)
+
+// StepRecord is the durable outcome of one executed campaign step.  Every
+// field renders deterministically (perf.Metrics marshals in canonical
+// metric-name order, settings render through Setting.Canonical, per-node
+// counters are slices in node order), so the record — and therefore the
+// whole report — is byte-stable across hosts, worker counts and process
+// runs.
+type StepRecord struct {
+	// Index is the step's position in the instance.
+	Index int `json:"index"`
+	// Kind is the executed step's kind.
+	Kind StepKind `json:"kind"`
+	// Profile is the architecture the step ran on.
+	Profile string `json:"profile"`
+
+	// Workload, Settings, Metrics, Fresh and MemoSize describe an eval
+	// step: canonical setting strings, their metric vectors in setting
+	// order, the per-setting fresh flags and the memo size after the step.
+	Workload string         `json:"workload,omitempty"`
+	Settings []string       `json:"settings,omitempty"`
+	Metrics  []perf.Metrics `json:"metrics,omitempty"`
+	Fresh    []bool         `json:"fresh,omitempty"`
+	MemoSize int            `json:"memo_size,omitempty"`
+
+	// Elapsed, Aggregate, PerNode and TraceMetrics describe a trace step:
+	// the profile cluster's cumulative virtual clock, aggregate and
+	// per-node counters, and the derived metric vector.
+	Elapsed      float64         `json:"elapsed,omitempty"`
+	Aggregate    *perf.Counters  `json:"aggregate,omitempty"`
+	PerNode      []perf.Counters `json:"per_node,omitempty"`
+	TraceMetrics *perf.Metrics   `json:"trace_metrics,omitempty"`
+}
+
+// Report is the final outcome of one campaign run.
+type Report struct {
+	// Seed is the campaign seed.
+	Seed uint64 `json:"seed"`
+	// Config is the effective (default-filled) campaign config.
+	Config Config `json:"config"`
+	// Steps are the per-step records in execution order.
+	Steps []StepRecord `json:"steps"`
+	// MemoSize is the final number of distinct measured settings.
+	MemoSize int `json:"memo_size"`
+	// Evaluations counts fresh simulations across all eval steps.
+	Evaluations int `json:"evaluations"`
+	// CacheHits counts memo-answered settings across all eval steps.
+	CacheHits int `json:"cache_hits"`
+}
+
+// Report builds the campaign report for the steps executed so far.
+func (r *Runner) Report() *Report {
+	return &Report{
+		Seed:        r.inst.Seed,
+		Config:      r.cfg,
+		Steps:       append([]StepRecord(nil), r.steps...),
+		MemoSize:    r.memo.Size(),
+		Evaluations: r.evaluations,
+		CacheHits:   r.cacheHits,
+	}
+}
+
+// Encode renders the report as deterministic indented JSON: the same
+// campaign state always yields the same bytes, which is what the
+// nondeterminism checks compare.
+func (rep *Report) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding report: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// Digest returns the hex SHA-256 of the encoded report — a compact
+// fingerprint two runs can compare instead of whole report files.
+func (rep *Report) Digest() (string, error) {
+	buf, err := rep.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReportDigestIsStable pins the sweep digest: 64 lowercase hex chars,
+// equal across calls, and a pure function of the encoded report bytes.
+func TestReportDigestIsStable(t *testing.T) {
+	r, err := NewRunner(testConfig(5, "westmere"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := rep.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := rep.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest unstable: %s vs %s", d1, d2)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest %q is not a sha256 hex string", d1)
+	}
+	for _, c := range d1 {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			t.Fatalf("digest %q contains non-hex rune %q", d1, c)
+		}
+	}
+}
+
+// TestRunnerConfigReturnsDefaultedConfig checks the Config accessor hands
+// back the fully defaulted config (the one Resume must reconstruct from).
+func TestRunnerConfigReturnsDefaultedConfig(t *testing.T) {
+	r, err := NewRunner(Config{Seed: 3, Workloads: []string{"terasort"}, Profiles: []string{"haswell"}, Steps: 2, TraceTasks: 1, TraceOps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := r.Config()
+	if cfg.MaxSettings == 0 || cfg.Seed != 3 {
+		t.Fatalf("Config() not defaulted: %+v", cfg)
+	}
+	if _, err := json.Marshal(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

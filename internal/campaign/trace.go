@@ -1,0 +1,44 @@
+package campaign
+
+import "dataproxy/internal/sim"
+
+// driveTrace replays a deterministic pseudo-random operation stream on one
+// trace-step task: region traffic through the cache models, branch bursts,
+// instruction mixes and disk/network I/O.  The stream is a pure function
+// of seed (splitmix64, no global PRNG), so a trace step contributes
+// bit-identical counter deltas at any host worker count — the property the
+// campaign's determinism harness leans on.
+func driveTrace(ex *sim.Exec, seed uint64, ops int) {
+	r := newRNG(seed)
+	ex.SetCodeFootprint(48<<10, 40)
+	regions := make([]sim.Region, 0, 4)
+	for i := 0; i < 4; i++ {
+		regions = append(regions, ex.Node().Alloc(uint64(16<<10+r.intn(1<<17))))
+	}
+	for op := 0; op < ops; op++ {
+		reg := regions[r.intn(len(regions))]
+		switch r.intn(8) {
+		case 0:
+			ex.Load(reg, uint64(r.intn(8<<10)), uint64(1+r.intn(4<<10)))
+		case 1:
+			ex.Store(reg, uint64(r.intn(8<<10)), uint64(1+r.intn(2<<10)))
+		case 2:
+			ex.LoadResident(reg, 0, uint64(1+r.intn(8<<10)))
+		case 3:
+			ex.Touch(reg, uint64(r.intn(16<<10)), r.intn(2) == 0)
+		case 4:
+			ex.Int(uint64(1 + r.intn(512)))
+			ex.Float(uint64(r.intn(256)))
+		case 5:
+			for b := 0; b < 24; b++ {
+				ex.Branch(uint64(200+r.intn(6)), r.intn(3) != 0)
+			}
+		case 6:
+			ex.ReadDisk(uint64(1 + r.intn(1<<16)))
+			ex.WriteDisk(uint64(r.intn(1 << 14)))
+		default:
+			ex.NetSend(uint64(r.intn(1 << 14)))
+			ex.NetRecv(uint64(r.intn(1 << 14)))
+		}
+	}
+}

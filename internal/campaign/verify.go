@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"dataproxy/internal/parallel"
+	"dataproxy/internal/snapshot"
+)
+
+// RunSeeds executes one full campaign per seed, fanning the independent
+// runs across the parallel engine (results land in seed-index slots, so
+// the returned slice order is independent of scheduling).  The first
+// failing seed's error is returned, with every seed still attempted.
+func RunSeeds(cfg Config, seeds []uint64) ([]*Report, error) {
+	reports := make([]*Report, len(seeds))
+	errs := make([]error, len(seeds))
+	parallel.For(len(seeds), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := cfg
+			c.Seed = seeds[i]
+			r, err := NewRunner(c)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			reports[i], errs[i] = r.Run()
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return reports, fmt.Errorf("seed %d: %w", seeds[i], err)
+		}
+	}
+	return reports, nil
+}
+
+// runEncoded runs one full campaign and returns its encoded report bytes.
+func runEncoded(cfg Config) ([]byte, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Encode()
+}
+
+// VerifyDeterminism runs the same campaign once per worker-count setting
+// and fails unless every run produces byte-identical report bytes.  It
+// temporarily reconfigures the global parallel engine, restoring the
+// previous worker count before returning, so it must not run concurrently
+// with other simulation work.
+func VerifyDeterminism(cfg Config, workerCounts []int) ([]byte, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 8}
+	}
+	var want []byte
+	for _, w := range workerCounts {
+		prev := parallel.SetWorkers(w)
+		got, err := runEncoded(cfg)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: seed %d with %d workers: %w", cfg.Seed, w, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			return nil, fmt.Errorf("campaign: seed %d is nondeterministic: report bytes with %d workers differ from %d workers (%d vs %d bytes)",
+				cfg.Seed, w, workerCounts[0], len(got), len(want))
+		}
+	}
+	return want, nil
+}
+
+// VerifyImportExport proves the mid-campaign checkpoint property for one
+// seed: a straight run and a run that exports after splitStep steps,
+// round-trips the checkpoint through the snapshot codec, resumes in a
+// fresh runner and finishes there must produce byte-identical reports.
+// It returns those report bytes.
+func VerifyImportExport(cfg Config, splitStep int) ([]byte, error) {
+	want, err := runEncoded(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	first, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if splitStep < 0 || splitStep > len(first.Instance().Steps) {
+		splitStep = len(first.Instance().Steps) / 2
+	}
+	for i := 0; i < splitStep; i++ {
+		if err := first.Step(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := first.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip through the codec: what resumes is what a file would hold.
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, st); err != nil {
+		return nil, err
+	}
+	decoded, err := snapshot.Decode(&buf)
+	if err != nil {
+		return nil, err
+	}
+	resumed, err := Resume(decoded)
+	if err != nil {
+		return nil, err
+	}
+	if resumed.NextStep() != splitStep {
+		return nil, fmt.Errorf("campaign: resumed at step %d, exported at %d", resumed.NextStep(), splitStep)
+	}
+	rep, err := resumed.Run()
+	if err != nil {
+		return nil, err
+	}
+	got, err := rep.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(want, got) {
+		return nil, fmt.Errorf("campaign: seed %d: resumed run diverged from straight run after export at step %d", cfg.Seed, splitStep)
+	}
+	return want, nil
+}

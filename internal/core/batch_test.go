@@ -1,99 +1,15 @@
 package core
 
 import (
-	"bytes"
-	"math/rand"
-	"reflect"
 	"testing"
 
-	"dataproxy/internal/arch"
-	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
 )
 
-// randomSetting draws a setting over the tunable parameters of the test
-// benchmark, biased so several settings share a trace (weight/dataSize-only
-// perturbations) while others change the trace shape.
-func randomSetting(rng *rand.Rand) Setting {
-	s := Setting{}
-	pick := func(name string, factors ...float64) {
-		if rng.Intn(2) == 0 {
-			s[name] = factors[rng.Intn(len(factors))]
-		}
-	}
-	pick("dataSize", 0.25, 0.5, 1, 2, 4)
-	pick("weight", 0.5, 1, 1.6, 2.5)
-	pick("chunkSize", 0.5, 1, 2)
-	pick("numTasks", 0.5, 1, 2)
-	if len(s) == 0 {
-		return nil // exercise RunBatch's nil-means-default path
-	}
-	return s
-}
-
-func metricsJSON(t *testing.T, rep sim.Report) []byte {
-	t.Helper()
-	buf, err := rep.Metrics.MarshalJSON()
-	if err != nil {
-		t.Fatalf("marshal metrics: %v", err)
-	}
-	return buf
-}
-
-// TestRunBatchMatchesSequential is the batched==sequential equivalence
-// property: for randomized K (including K=1 and K larger than the host
-// worker count), both architecture profiles and several host worker counts,
-// every lane of RunBatch must be bit-identical — metric bytes, aggregate
-// counters, runtime and stages — to a solo Run of the same setting.
-func TestRunBatchMatchesSequential(t *testing.T) {
-	profiles := map[string]arch.Profile{"westmere": arch.Westmere(), "haswell": arch.Haswell()}
-	for name, profile := range profiles {
-		profile := profile
-		t.Run(name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(42))
-			b := testBenchmark()
-			solo := sim.MustNewCluster(sim.SingleNode(profile, 0))
-			pool := sim.NewClusterPool(sim.MustNewCluster(sim.SingleNode(profile, 0)))
-			for _, k := range []int{1, 3, 17} {
-				settings := make([]Setting, k)
-				for i := range settings {
-					settings[i] = randomSetting(rng)
-				}
-				want := make([]sim.Report, k)
-				for i, s := range settings {
-					rep, err := Run(solo, b, s)
-					if err != nil {
-						t.Fatalf("solo run %d: %v", i, err)
-					}
-					want[i] = rep
-				}
-				for _, workers := range []int{1, 2, 8} {
-					prev := parallel.SetWorkers(workers)
-					got, err := RunBatch(pool, b, settings)
-					parallel.SetWorkers(prev)
-					if err != nil {
-						t.Fatalf("k=%d workers=%d: %v", k, workers, err)
-					}
-					if len(got) != k {
-						t.Fatalf("k=%d: got %d reports", k, len(got))
-					}
-					for i := range got {
-						if !reflect.DeepEqual(got[i], want[i]) {
-							t.Errorf("k=%d workers=%d lane %d (%v): batched report diverges\n got: %+v\nwant: %+v",
-								k, workers, i, settings[i], got[i], want[i])
-						}
-						if gb, wb := metricsJSON(t, got[i]), metricsJSON(t, want[i]); !bytes.Equal(gb, wb) {
-							t.Errorf("k=%d lane %d: metric bytes diverge\n got %s\nwant %s", k, i, gb, wb)
-						}
-						if got[i].Aggregate != want[i].Aggregate {
-							t.Errorf("k=%d lane %d: counters diverge\n got %+v\nwant %+v", k, i, got[i].Aggregate, want[i].Aggregate)
-						}
-					}
-				}
-			}
-		})
-	}
-}
+// The batched==sequential equivalence property lives in
+// batch_property_test.go (package core_test) on the shared testutil
+// builders; the tests here stay in-package because they reach the
+// unexported trace-group key.
 
 // TestRunBatchSharesTraces checks the compute-sharing contract directly: a
 // batch of settings differing only in the pure extrapolation parameters

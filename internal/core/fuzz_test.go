@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzSettingCanonical drives the setting parser and canonicalizer with
+// arbitrary sweep specs.  Whatever parses must be a fully valid setting —
+// known parameter names, positive finite factors (NaN and ±Inf must never
+// get through) — and its canonical form must be stable, buffer-independent
+// and insensitive to cloning.
+func FuzzSettingCanonical(f *testing.F) {
+	f.Add("")
+	f.Add("dataSize=0.5")
+	f.Add("dataSize=1,numTasks=2;weight=0.25")
+	f.Add(" chunkSize = 2 , weight=1 ; ; numTasks=0.5 ")
+	f.Add("bogus=1")
+	f.Add("dataSize=NaN")
+	f.Add("dataSize=+Inf;numTasks=-Inf")
+	f.Add("dataSize=-1")
+	f.Add("dataSize=1e309")
+	f.Add("dataSize=5e-324")
+	f.Add("=1,,;===")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		settings, err := ParseSettings(spec)
+		if err != nil {
+			return
+		}
+		if len(settings) != strings.Count(spec, ";")+1 {
+			t.Fatalf("parsed %d settings from %d entries", len(settings), strings.Count(spec, ";")+1)
+		}
+		for _, s := range settings {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("parser accepted a setting its own validator rejects: %v", err)
+			}
+			for name, v := range s {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Fatalf("non-finite or non-positive factor %s=%g survived parsing", name, v)
+				}
+			}
+			c := s.Canonical()
+			if c != s.Canonical() {
+				t.Fatal("Canonical is not stable across calls")
+			}
+			if got := string(s.AppendCanonical(nil)); got != c {
+				t.Fatalf("AppendCanonical diverges from Canonical: %q vs %q", got, c)
+			}
+			if got := s.Clone().Canonical(); got != c {
+				t.Fatalf("clone canonicalises differently: %q vs %q", got, c)
+			}
+			if got := canonicalLen(); len(c) != got {
+				t.Fatalf("canonical form is %d bytes, want %d", len(c), got)
+			}
+		}
+	})
+}
+
+// canonicalLen returns the fixed byte length of any canonical setting:
+// "name=<16 hex>" per parameter, space-separated.
+func canonicalLen() int {
+	n := 0
+	for i, name := range ParameterNames {
+		if i > 0 {
+			n++
+		}
+		n += len(name) + 1 + 16
+	}
+	return n
+}

@@ -83,7 +83,9 @@ func (s Setting) Get(name string) float64 {
 	return 1
 }
 
-// Validate rejects unknown parameter names and non-positive factors.
+// Validate rejects unknown parameter names and non-positive or non-finite
+// factors.  NaN needs an explicit check: it fails every ordered comparison,
+// so `v <= 0` alone would wave it through into the scaling arithmetic.
 func (s Setting) Validate() error {
 	valid := make(map[string]bool, len(ParameterNames))
 	for _, n := range ParameterNames {
@@ -92,6 +94,9 @@ func (s Setting) Validate() error {
 	for k, v := range s {
 		if !valid[k] {
 			return fmt.Errorf("core: unknown tunable parameter %q", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: parameter %q has non-finite factor %g", k, v)
 		}
 		if v <= 0 {
 			return fmt.Errorf("core: parameter %q has non-positive factor %g", k, v)

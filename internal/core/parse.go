@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSetting parses one setting spec: a comma-separated list of
+// name=factor pairs ("dataSize=0.5,numTasks=2").  Whitespace around names,
+// values and separators is ignored; an empty spec is the default setting.
+// The result is validated, so unknown parameter names and non-positive or
+// non-finite factors are rejected.
+func ParseSetting(spec string) (Setting, error) {
+	s := Setting{}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: %q is not name=factor", pair)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing %q: %v", pair, err)
+		}
+		s[strings.TrimSpace(name)] = f
+	}
+	if len(s) == 0 {
+		s = DefaultSetting()
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSettings parses a sweep spec: ';'-separated setting specs, each in
+// ParseSetting's form.  An empty entry selects the default setting.
+func ParseSettings(spec string) ([]Setting, error) {
+	entries := strings.Split(spec, ";")
+	settings := make([]Setting, len(entries))
+	for i, entry := range entries {
+		s, err := ParseSetting(entry)
+		if err != nil {
+			return nil, fmt.Errorf("core: setting %d: %w", i, err)
+		}
+		settings[i] = s
+	}
+	return settings, nil
+}

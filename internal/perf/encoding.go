@@ -1,0 +1,67 @@
+package perf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// counterWords is the number of uint64 fields of Counters, which is also
+// the word count of its binary encoding.  A reflection test pins it to the
+// struct definition so adding a counter without extending the codec (and
+// Covers) fails loudly.
+const counterWords = 21
+
+// fields returns pointers to every counter field in the fixed encoding
+// order (struct declaration order).  AppendBinary, CountersFromBinary and
+// Covers all derive from this one list so the three can never disagree.
+func (c *Counters) fields() [counterWords]*uint64 {
+	return [counterWords]*uint64{
+		&c.LoadInstrs, &c.StoreInstrs, &c.IntInstrs, &c.FloatInstrs, &c.BranchInstrs,
+		&c.Cycles,
+		&c.BranchMisses,
+		&c.L1IAccesses, &c.L1IMisses, &c.L1DAccesses, &c.L1DMisses,
+		&c.L2Accesses, &c.L2Misses, &c.L3Accesses, &c.L3Misses,
+		&c.MemReadBytes, &c.MemWriteBytes,
+		&c.DiskReadBytes, &c.DiskWriteBytes,
+		&c.NetSentBytes, &c.NetRecvBytes,
+	}
+}
+
+// AppendBinary appends the counters as fixed-width little-endian words in
+// struct declaration order to dst and returns the extended slice.  The
+// encoding is byte-deterministic; it is what cluster state checkpoints
+// embed.
+func (c Counters) AppendBinary(dst []byte) []byte {
+	for _, f := range c.fields() {
+		dst = binary.LittleEndian.AppendUint64(dst, *f)
+	}
+	return dst
+}
+
+// CountersFromBinary decodes counters previously produced by AppendBinary
+// from the front of src and returns them with the unconsumed remainder.
+func CountersFromBinary(src []byte) (Counters, []byte, error) {
+	var c Counters
+	if len(src) < counterWords*8 {
+		return Counters{}, nil, fmt.Errorf("perf: counter state truncated (%d bytes, need %d)", len(src), counterWords*8)
+	}
+	for _, f := range c.fields() {
+		*f = binary.LittleEndian.Uint64(src)
+		src = src[8:]
+	}
+	return c, src, nil
+}
+
+// Covers reports whether every counter of c is at least the corresponding
+// counter of o.  Cumulative counters of a live simulation must cover every
+// earlier observation of themselves — the monotonicity invariant the
+// campaign harness checks across trace stages.
+func (c Counters) Covers(o Counters) bool {
+	cf, of := c.fields(), o.fields()
+	for i := range cf {
+		if *cf[i] < *of[i] {
+			return false
+		}
+	}
+	return true
+}

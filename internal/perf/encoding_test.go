@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCounterWordsMatchesStruct pins counterWords (and therefore the
+// binary codec and Covers) to the struct definition: adding a counter
+// field without extending fields() must fail here.
+func TestCounterWordsMatchesStruct(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	if rt.NumField() != counterWords {
+		t.Fatalf("Counters has %d fields, codec encodes %d — extend fields() in encoding.go", rt.NumField(), counterWords)
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s, codec assumes uint64", rt.Field(i).Name, rt.Field(i).Type)
+		}
+	}
+	// fields() must cover each field exactly once, in declaration order.
+	var c Counters
+	ptrs := c.fields()
+	base := reflect.ValueOf(&c).Elem()
+	for i := range ptrs {
+		if ptrs[i] != base.Field(i).Addr().Interface().(*uint64) {
+			t.Fatalf("fields()[%d] does not point at struct field %s", i, rt.Field(i).Name)
+		}
+	}
+}
+
+func TestCountersBinaryRoundTrip(t *testing.T) {
+	src := Counters{}
+	ptrs := src.fields()
+	for i := range ptrs {
+		*ptrs[i] = uint64(i+1) * 1000003
+	}
+	buf := src.AppendBinary([]byte{0xAA})
+	got, rest, err := CountersFromBinary(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d unconsumed bytes", len(rest))
+	}
+	if got != src {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", got, src)
+	}
+	if _, _, err := CountersFromBinary(buf[1 : len(buf)-1]); err == nil {
+		t.Fatal("truncated decode must fail")
+	}
+}
+
+func TestCountersCovers(t *testing.T) {
+	var base Counters
+	base.Cycles, base.LoadInstrs = 100, 50
+	grown := base
+	grown.Cycles, grown.L3Misses = 150, 7
+	if !grown.Covers(base) {
+		t.Fatal("grown counters must cover their past")
+	}
+	if base.Covers(grown) {
+		t.Fatal("past counters must not cover grown ones")
+	}
+	if !base.Covers(base) {
+		t.Fatal("Covers must be reflexive")
+	}
+	shrunk := grown
+	shrunk.LoadInstrs = 49
+	if shrunk.Covers(base) {
+		t.Fatal("a decreased counter must break Covers")
+	}
+}

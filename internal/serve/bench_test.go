@@ -4,11 +4,11 @@ import (
 	"context"
 	"testing"
 
-	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 )
 
 // BenchmarkServeRun measures the in-process scheduler round-trip of a
@@ -18,10 +18,7 @@ import (
 // more often than they invent new ones — and it must stay allocation-free,
 // which the bench gate enforces via the committed baseline.
 func BenchmarkServeRun(b *testing.B) {
-	proto, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
-	if err != nil {
-		b.Fatal(err)
-	}
+	proto := testutil.WestmereCluster()
 	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
 	bench, err := proxy.ForWorkload("terasort")
 	if err != nil {
@@ -55,10 +52,7 @@ func BenchmarkServeRun(b *testing.B) {
 // exists precisely so an all-warm batch touches no heap — and the bench gate
 // enforces 0 allocs/op via the committed baseline.
 func BenchmarkServeRunBatch(b *testing.B) {
-	proto, err := sim.NewCluster(sim.SingleNode(arch.Westmere(), 0))
-	if err != nil {
-		b.Fatal(err)
-	}
+	proto := testutil.WestmereCluster()
 	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
 	bench, err := proxy.ForWorkload("terasort")
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 	"dataproxy/internal/tuner"
 )
 
@@ -223,7 +224,7 @@ func TestRunMatchesDirectExecution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cluster := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+		cluster := testutil.WestmereCluster()
 		rep, err := core.Run(cluster, b, setting)
 		if err != nil {
 			t.Fatal(err)

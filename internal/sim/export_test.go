@@ -1,0 +1,6 @@
+package sim
+
+// MaxPooledClustersForTest exposes the pool's free-list cap to the external
+// test package (the shared trace builders live in internal/testutil, which
+// imports sim, so pool tests must be external).
+const MaxPooledClustersForTest = maxPooledClusters

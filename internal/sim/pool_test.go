@@ -1,85 +1,30 @@
-package sim
+package sim_test
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"dataproxy/internal/arch"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 )
 
-// driveRandomTrace replays a deterministic pseudo-random workload trace on
-// one Exec: region allocations, sequential and wrapping loads/stores,
-// resident re-streams, random touches, branches with mixed outcomes,
-// instruction bursts and I/O, exercising every state-carrying component a
-// Reset must rewind (cache slabs, LRU clocks, branch history, address
-// allocator, counters, virtual time).
-func driveRandomTrace(ex *Exec, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	ex.SetCodeFootprint(uint64(32+rng.Intn(512))*1024, 40+rng.Intn(100))
-	regions := make([]Region, 0, 8)
-	for i := 0; i < 4; i++ {
-		regions = append(regions, ex.Node().Alloc(uint64(1+rng.Intn(1<<18))))
-	}
-	for op := 0; op < 200; op++ {
-		r := regions[rng.Intn(len(regions))]
-		off := uint64(rng.Intn(1 << 19))
-		size := uint64(1 + rng.Intn(1<<14))
-		switch rng.Intn(8) {
-		case 0:
-			ex.Load(r, off, size)
-		case 1:
-			ex.Store(r, off, size)
-		case 2:
-			ex.LoadResident(r, off%r.Size(), size%r.Size()+1)
-		case 3:
-			ex.Touch(r, off, rng.Intn(2) == 0)
-		case 4:
-			ex.Int(uint64(rng.Intn(10000)))
-			ex.Float(uint64(rng.Intn(10000)))
-		case 5:
-			for b := 0; b < 32; b++ {
-				ex.Branch(uint64(100+rng.Intn(6)), rng.Intn(3) != 0)
-			}
-		case 6:
-			ex.ReadDisk(uint64(rng.Intn(1 << 22)))
-			ex.WriteDisk(uint64(rng.Intn(1 << 20)))
-		case 7:
-			ex.NetSend(uint64(rng.Intn(1 << 20)))
-			ex.NetRecv(uint64(rng.Intn(1 << 20)))
-		}
-	}
-}
-
-// runRandomWorkload executes a multi-stage randomized workload on the
-// cluster and returns its report.
-func runRandomWorkload(c *Cluster, seed int64) Report {
-	c.AdvanceTime("setup", 1.5)
-	for stage := 0; stage < 2; stage++ {
-		stageSeed := seed + int64(stage)*1000
-		c.RunTasks("stage", 2*len(c.Nodes()), 1.5, func(i int, ex *Exec) {
-			driveRandomTrace(ex, stageSeed+int64(i))
-		})
-	}
-	return c.Report("random-trace")
-}
-
 func TestClusterPoolResetMatchesFreshClone(t *testing.T) {
-	configs := []ClusterConfig{
-		SingleNode(arch.Westmere(), 0),
-		SingleNode(arch.Haswell(), 0),
-		ThreeNodeWestmere64GB(),
-		ThreeNodeHaswell64GB(),
+	configs := []sim.ClusterConfig{
+		sim.SingleNode(arch.Westmere(), 0),
+		sim.SingleNode(arch.Haswell(), 0),
+		sim.ThreeNodeWestmere64GB(),
+		sim.ThreeNodeHaswell64GB(),
 	}
 	for _, cfg := range configs {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			proto := MustNewCluster(cfg)
-			pool := NewClusterPool(proto)
+			proto := sim.MustNewCluster(cfg)
+			pool := sim.NewClusterPool(proto)
 
 			// Dirty a cluster thoroughly, return it, and get it back.
 			dirty := pool.Get()
-			runRandomWorkload(dirty, 7)
+			testutil.RunRandomWorkload(dirty, 7)
 			pool.Put(dirty)
 			pooled := pool.Get()
 			if pooled != dirty {
@@ -88,8 +33,8 @@ func TestClusterPoolResetMatchesFreshClone(t *testing.T) {
 
 			for seed := int64(20); seed < 23; seed++ {
 				fresh := proto.Clone()
-				want := runRandomWorkload(fresh, seed)
-				got := runRandomWorkload(pooled, seed)
+				want := testutil.RunRandomWorkload(fresh, seed)
+				got := testutil.RunRandomWorkload(pooled, seed)
 				if !reflect.DeepEqual(want, got) {
 					t.Fatalf("seed %d: pooled run diverged from fresh clone:\nfresh:  %+v\npooled: %+v", seed, want, got)
 				}
@@ -112,8 +57,8 @@ func TestClusterPoolResetMatchesFreshClone(t *testing.T) {
 }
 
 func TestClusterPoolGrowsAndBounds(t *testing.T) {
-	proto := MustNewCluster(SingleNode(arch.Westmere(), 0))
-	pool := NewClusterPool(proto)
+	proto := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
+	pool := sim.NewClusterPool(proto)
 	if pool.Proto() != proto {
 		t.Fatal("Proto should return the prototype")
 	}
@@ -131,23 +76,23 @@ func TestClusterPoolGrowsAndBounds(t *testing.T) {
 		t.Fatal("Put(nil) must not grow the pool")
 	}
 	// Overflowing the cap drops clusters instead of growing without bound.
-	for i := 0; i < maxPooledClusters+8; i++ {
+	for i := 0; i < sim.MaxPooledClustersForTest+8; i++ {
 		pool.Put(proto.Clone())
 	}
-	if pool.Size() != maxPooledClusters {
-		t.Fatalf("free list size %d, want cap %d", pool.Size(), maxPooledClusters)
+	if pool.Size() != sim.MaxPooledClustersForTest {
+		t.Fatalf("free list size %d, want cap %d", pool.Size(), sim.MaxPooledClustersForTest)
 	}
 }
 
 func TestClusterFingerprintIsStable(t *testing.T) {
-	proto := MustNewCluster(SingleNode(arch.Westmere(), 0))
+	proto := sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
 	if proto.Fingerprint() == "" {
 		t.Fatal("fingerprint should be non-empty")
 	}
 	if proto.Fingerprint() != proto.Clone().Fingerprint() {
 		t.Fatal("clones must share the prototype's fingerprint")
 	}
-	other := MustNewCluster(SingleNode(arch.Haswell(), 0))
+	other := sim.MustNewCluster(sim.SingleNode(arch.Haswell(), 0))
 	if proto.Fingerprint() == other.Fingerprint() {
 		t.Fatal("different configurations must fingerprint differently")
 	}

@@ -1,0 +1,125 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
+)
+
+// runStage drives one randomized stage on the cluster, the unit both
+// halves of an export/import split replay identically.
+func runStage(c *sim.Cluster, seed int64) {
+	c.RunTasks("stage", 2*len(c.Nodes()), 1.5, func(i int, ex *sim.Exec) {
+		testutil.DriveRandomTrace(ex, seed+int64(i))
+	})
+}
+
+// TestClusterExportImportContinuesIdentically is the mid-trace checkpoint
+// property: running stages 1..n straight through must be bit-identical —
+// report, per-node counters, allocator state — to exporting after stage k,
+// importing into a fresh cluster of the same configuration, and running
+// the remaining stages there.  Checked for several seeds on single- and
+// multi-node configurations of both stock architecture profiles.
+func TestClusterExportImportContinuesIdentically(t *testing.T) {
+	configs := []sim.ClusterConfig{
+		sim.SingleNode(testutil.Profiles()[0].Profile, 0),
+		sim.SingleNode(testutil.Profiles()[1].Profile, 0),
+		sim.ThreeNodeWestmere64GB(),
+		sim.ThreeNodeHaswell64GB(),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			for seed := int64(100); seed < 103; seed++ {
+				straight := sim.MustNewCluster(cfg)
+				straight.AdvanceTime("setup", 0.5)
+				for stage := 0; stage < 4; stage++ {
+					runStage(straight, seed+int64(stage)*1000)
+				}
+				want := straight.Report("split-trace")
+
+				// Same trace, checkpointed after stage 2.
+				first := sim.MustNewCluster(cfg)
+				first.AdvanceTime("setup", 0.5)
+				for stage := 0; stage < 2; stage++ {
+					runStage(first, seed+int64(stage)*1000)
+				}
+				state := first.ExportState()
+				if !bytes.Equal(state, first.ExportState()) {
+					t.Fatal("ExportState is not deterministic")
+				}
+
+				resumed := sim.MustNewCluster(cfg)
+				// Dirty the target first: import must fully overwrite.
+				runStage(resumed, seed+999999)
+				if err := resumed.ImportState(state); err != nil {
+					t.Fatalf("import: %v", err)
+				}
+				// A re-export of freshly imported state must reproduce the
+				// original bytes exactly.
+				if !bytes.Equal(state, resumed.ExportState()) {
+					t.Fatal("re-export after import diverges from the original export")
+				}
+				for stage := 2; stage < 4; stage++ {
+					runStage(resumed, seed+int64(stage)*1000)
+				}
+				got := resumed.Report("split-trace")
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d: resumed run diverged from straight run:\nstraight: %+v\nresumed:  %+v", seed, want, got)
+				}
+				for i := range straight.Nodes() {
+					sn, rn := straight.Nodes()[i], resumed.Nodes()[i]
+					if sn.Counters() != rn.Counters() {
+						t.Fatalf("seed %d: node %d counters diverged", seed, i)
+					}
+					if sn.AllocatedBytes() != rn.AllocatedBytes() ||
+						sn.CPUSeconds() != rn.CPUSeconds() ||
+						sn.DiskSeconds() != rn.DiskSeconds() ||
+						sn.NetSeconds() != rn.NetSeconds() {
+						t.Fatalf("seed %d: node %d accounts diverged", seed, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterImportRejectsMismatchedState pins the refusal paths: state
+// from a differently configured cluster, corrupted magic and truncation
+// must all fail, and a failed import must leave the cluster reset (usable,
+// equivalent to a fresh clone).
+func TestClusterImportRejectsMismatchedState(t *testing.T) {
+	westmere := sim.MustNewCluster(sim.SingleNode(testutil.Profiles()[0].Profile, 0))
+	testutil.RunRandomWorkload(westmere, 11)
+	state := westmere.ExportState()
+
+	haswell := sim.MustNewCluster(sim.SingleNode(testutil.Profiles()[1].Profile, 0))
+	if err := haswell.ImportState(state); err == nil {
+		t.Fatal("import of state from a different configuration must fail")
+	}
+	threeNode := sim.MustNewCluster(sim.ThreeNodeWestmere64GB())
+	if err := threeNode.ImportState(state); err == nil {
+		t.Fatal("import of state with a different node count must fail")
+	}
+
+	bad := append([]byte(nil), state...)
+	bad[0] ^= 0xFF
+	target := sim.MustNewCluster(sim.SingleNode(testutil.Profiles()[0].Profile, 0))
+	if err := target.ImportState(bad); err == nil {
+		t.Fatal("import with corrupted magic must fail")
+	}
+	for _, cut := range []int{len(state) / 3, len(state) - 1} {
+		if err := target.ImportState(state[:cut]); err == nil {
+			t.Fatalf("import of %d/%d truncated bytes must fail", cut, len(state))
+		}
+	}
+	// After the failures the cluster must behave like a fresh clone.
+	want := testutil.RunRandomWorkload(sim.MustNewCluster(sim.SingleNode(testutil.Profiles()[0].Profile, 0)), 13)
+	got := testutil.RunRandomWorkload(target, 13)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("cluster left dirty after failed imports")
+	}
+}

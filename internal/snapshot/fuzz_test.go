@@ -1,0 +1,64 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes at the snapshot reader.  The
+// codec's contract: every failure is classified (ErrCorrupt or ErrVersion)
+// with a nil State — never a partial one — and everything that decodes
+// cleanly must survive an encode/decode round trip unchanged.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with real encodings (empty, populated) and damaged variants, so
+	// the fuzzer starts on both sides of the validity boundary.
+	var empty bytes.Buffer
+	if err := Encode(&empty, &State{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	var full bytes.Buffer
+	err := Encode(&full, &State{
+		MemoEntries: []MemoEntry{
+			{Key: "terasort|cfg|s", Metrics: []byte(`{"runtime":1}`)},
+			{Key: "kmeans|cfg|s", Metrics: []byte(`{"runtime":2}`)},
+		},
+		Jobs: []JobEntry{{Payload: []byte(`{"id":"j1"}`)}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes())
+	f.Add(full.Bytes()[:len(full.Bytes())-3])
+	flipped := append([]byte(nil), full.Bytes()...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("DPXSNAP\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if st != nil {
+				t.Fatal("Decode returned a non-nil State alongside an error")
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var rt bytes.Buffer
+		if err := Encode(&rt, st); err != nil {
+			t.Fatalf("re-encoding a decoded state: %v", err)
+		}
+		again, err := Decode(&rt)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded state: %v", err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatal("state changed across an encode/decode round trip")
+		}
+	})
+}

@@ -219,3 +219,11 @@ func TestWriteFileReplacesAtomically(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteFileMissingDirFails covers the temp-file creation error path: a
+// destination inside a directory that does not exist must fail cleanly.
+func TestWriteFileMissingDirFails(t *testing.T) {
+	if _, err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "s.snap"), &State{}); err == nil {
+		t.Fatal("WriteFile into a missing directory should fail")
+	}
+}

@@ -1,0 +1,91 @@
+package testutil_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/testutil"
+)
+
+// TestProfilesAreDistinctAndOrdered pins the fixed profile order the
+// subtest loops of the consuming suites rely on.
+func TestProfilesAreDistinctAndOrdered(t *testing.T) {
+	ps := testutil.Profiles()
+	if len(ps) != 2 || ps[0].Name != "westmere" || ps[1].Name != "haswell" {
+		t.Fatalf("unexpected profile set: %+v", ps)
+	}
+	a, b := testutil.Cluster(ps[0].Profile), testutil.Cluster(ps[1].Profile)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("westmere and haswell clusters share a fingerprint")
+	}
+	if got := testutil.WestmereCluster().Fingerprint(); got != a.Fingerprint() {
+		t.Fatalf("WestmereCluster fingerprint %q != Cluster(westmere) %q", got, a.Fingerprint())
+	}
+}
+
+// TestPoolHandsOutIsolatedClones checks Pool clones match the prototype
+// configuration.
+func TestPoolHandsOutIsolatedClones(t *testing.T) {
+	p := testutil.Profiles()[0]
+	pool := testutil.Pool(p.Profile)
+	c := pool.Get()
+	defer pool.Put(c)
+	if c.Fingerprint() != testutil.Cluster(p.Profile).Fingerprint() {
+		t.Fatal("pooled clone fingerprint diverges from a fresh cluster")
+	}
+}
+
+// TestRunRandomWorkloadIsDeterministic re-runs the same seed on fresh
+// clusters and compares the reports — the property every consumer of these
+// builders leans on.
+func TestRunRandomWorkloadIsDeterministic(t *testing.T) {
+	for _, np := range testutil.Profiles() {
+		rep1 := testutil.RunRandomWorkload(testutil.Cluster(np.Profile), 42)
+		rep2 := testutil.RunRandomWorkload(testutil.Cluster(np.Profile), 42)
+		if rep1.Runtime != rep2.Runtime || rep1.Aggregate != rep2.Aggregate {
+			t.Fatalf("%s: same seed diverges: %+v vs %+v", np.Name, rep1.Aggregate, rep2.Aggregate)
+		}
+		if rep1.Runtime <= 0 {
+			t.Fatalf("%s: workload advanced no virtual time", np.Name)
+		}
+	}
+}
+
+// TestRandomSettingIsValidAndSeedStable draws many settings: each must
+// validate (or be nil), and the same seed must reproduce the same stream.
+func TestRandomSettingIsValidAndSeedStable(t *testing.T) {
+	rng1, rng2 := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	sawNil, sawSet := false, false
+	for i := 0; i < 200; i++ {
+		s1, s2 := testutil.RandomSetting(rng1), testutil.RandomSetting(rng2)
+		if s1.Canonical() != s2.Canonical() {
+			t.Fatalf("draw %d: same seed produced different settings %v vs %v", i, s1, s2)
+		}
+		if s1 == nil {
+			sawNil = true
+			continue
+		}
+		sawSet = true
+		if err := s1.Validate(); err != nil {
+			t.Fatalf("draw %d: invalid setting %v: %v", i, s1, err)
+		}
+	}
+	if !sawNil || !sawSet {
+		t.Fatalf("stream not mixed: nil=%v set=%v", sawNil, sawSet)
+	}
+}
+
+// TestSmallBenchmarkRunsOnBothProfiles sanity-checks the shared benchmark
+// end to end (it must validate and produce positive runtime metrics).
+func TestSmallBenchmarkRunsOnBothProfiles(t *testing.T) {
+	for _, np := range testutil.Profiles() {
+		rep, err := core.Run(testutil.Cluster(np.Profile), testutil.SmallBenchmark(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", np.Name, err)
+		}
+		if rep.Metrics.Runtime <= 0 {
+			t.Fatalf("%s: non-positive runtime %g", np.Name, rep.Metrics.Runtime)
+		}
+	}
+}

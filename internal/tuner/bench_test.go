@@ -6,6 +6,7 @@ import (
 	"dataproxy/internal/core"
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 )
 
 // BenchmarkTune compares the sequential and parallel auto-tuning pipeline on
@@ -48,10 +49,10 @@ func sweepSettings() []core.Setting {
 // results (TestRunBatchMatchesSequential in internal/core).  Tracked by
 // `make bench-json`.
 func BenchmarkTuneBatched(b *testing.B) {
-	proxyB := smallProxy()
+	proxyB := testutil.SmallBenchmark()
 	settings := sweepSettings()
 	b.Run("oneatatime", func(b *testing.B) {
-		pool := sim.NewClusterPool(singleNode())
+		pool := sim.NewClusterPool(testutil.WestmereCluster())
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, s := range settings {
@@ -65,7 +66,7 @@ func BenchmarkTuneBatched(b *testing.B) {
 		b.ReportMetric(float64(len(settings)), "settings")
 	})
 	b.Run("batched", func(b *testing.B) {
-		pool := sim.NewClusterPool(singleNode())
+		pool := sim.NewClusterPool(testutil.WestmereCluster())
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RunBatch(pool, proxyB, settings); err != nil {
@@ -80,8 +81,8 @@ func benchmarkTune(b *testing.B, workers int) {
 	prev := parallel.SetWorkers(workers)
 	defer parallel.SetWorkers(prev)
 
-	proxyB := smallProxy()
-	rep, err := core.Run(singleNode(), proxyB, core.Setting{"numTasks": 0.25})
+	proxyB := testutil.SmallBenchmark()
+	rep, err := core.Run(testutil.WestmereCluster(), proxyB, core.Setting{"numTasks": 0.25})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func benchmarkTune(b *testing.B, workers int) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Tune(singleNode(), proxyB, target, opts)
+		res, err := Tune(testutil.WestmereCluster(), proxyB, target, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"dataproxy/internal/core"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 )
 
 // TestMeasureBatchDeduplicatesAndCaches drives the batch memo API directly:
@@ -147,8 +148,8 @@ func TestMeasureBatchLengthMismatch(t *testing.T) {
 // core.Run on fresh clusters, a repeated evaluation is answered entirely from
 // the memo, and EvaluateOne adapts single-setting call sites.
 func TestEvaluatorMatchesCoreRun(t *testing.T) {
-	b := smallProxy()
-	pool := sim.NewClusterPool(singleNode())
+	b := testutil.SmallBenchmark()
+	pool := sim.NewClusterPool(testutil.WestmereCluster())
 	ev := NewEvaluator(pool, b, NewMemo())
 	settings := []core.Setting{
 		nil,
@@ -165,7 +166,7 @@ func TestEvaluatorMatchesCoreRun(t *testing.T) {
 		t.Fatalf("fresh flags %v, want %v", fresh, want)
 	}
 	for i, s := range settings {
-		rep, err := core.Run(singleNode(), b, s)
+		rep, err := core.Run(testutil.WestmereCluster(), b, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,8 +199,8 @@ func TestEvaluatorMatchesCoreRun(t *testing.T) {
 // TestEvaluatorNilMemoIsPrivate: a nil memo still deduplicates within the
 // evaluator but shares nothing with other evaluators.
 func TestEvaluatorNilMemoIsPrivate(t *testing.T) {
-	b := smallProxy()
-	pool := sim.NewClusterPool(singleNode())
+	b := testutil.SmallBenchmark()
+	pool := sim.NewClusterPool(testutil.WestmereCluster())
 	ev := NewEvaluator(pool, b, nil)
 	if ev.Memo() == nil {
 		t.Fatal("nil memo should be replaced with a private one")

@@ -10,40 +10,22 @@ import (
 
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
-	"dataproxy/internal/datagen"
-	"dataproxy/internal/motif"
 	"dataproxy/internal/parallel"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/sim"
+	"dataproxy/internal/testutil"
 )
 
-// smallProxy is a fast two-edge proxy benchmark used to exercise the tuner.
-func smallProxy() *core.Benchmark {
-	return &core.Benchmark{
-		Name:        "Proxy Tuner Test",
-		Workload:    "test",
-		Base:        core.Params{DataSize: 256 << 20, ChunkSize: 8 << 20, NumTasks: 4, Weight: 1},
-		SampleBytes: 128 << 10,
-		Input: func(seed int64, sampleBytes uint64, p core.Params) *motif.Dataset {
-			recs, _ := datagen.GenerateRecords(datagen.TextConfig{Seed: seed, Records: int(sampleBytes / datagen.RecordSize)})
-			return &motif.Dataset{Records: recs}
-		},
-		Edges: []core.Edge{
-			{Name: "sort", Impl: "quicksort", From: core.InputNode, To: "sorted", Weight: 0.8},
-			{Name: "stats", Impl: "count_statistics", From: core.InputNode, To: "stats", Weight: 0.2},
-		},
-	}
-}
-
-func singleNode() *sim.Cluster {
-	return sim.MustNewCluster(sim.SingleNode(arch.Westmere(), 0))
-}
+// The proxy benchmark and cluster these tests measure with come from the
+// shared internal/testutil builders (SmallBenchmark, WestmereCluster),
+// which replaced the copies this file and the core/serve suites used to
+// duplicate.
 
 // selfTarget measures the proxy itself under a given setting, so the tuner
 // has a reachable target.
 func selfTarget(t *testing.T, setting core.Setting) perf.Metrics {
 	t.Helper()
-	rep, err := core.Run(singleNode(), smallProxy(), setting)
+	rep, err := core.Run(testutil.WestmereCluster(), testutil.SmallBenchmark(), setting)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +46,7 @@ func TestTuneConvergesWhenTargetIsReachable(t *testing.T) {
 	// already be within the threshold, so the tuner must converge immediately
 	// without adjustments.
 	target := selfTarget(t, nil)
-	res, err := Tune(singleNode(), smallProxy(), target, fastOptions())
+	res, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,13 +70,13 @@ func TestTuneImprovesAccuracyTowardsShiftedTarget(t *testing.T) {
 	opts.MaxIterations = 8
 	opts.Threshold = 0.10
 
-	baselineRep, err := core.Run(singleNode(), smallProxy(), nil)
+	baselineRep, err := core.Run(testutil.WestmereCluster(), testutil.SmallBenchmark(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	baseline := perf.CompareMetrics(target, baselineRep.Metrics, opts.Metrics)
 
-	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	res, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +101,7 @@ func TestTuneHistoryRecordsAdjustments(t *testing.T) {
 	opts := fastOptions()
 	opts.Threshold = 0.02 // hard to satisfy -> must iterate
 	opts.MaxIterations = 3
-	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	res, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +119,9 @@ func TestTuneHistoryRecordsAdjustments(t *testing.T) {
 }
 
 func TestTuneFailsOnBrokenBenchmark(t *testing.T) {
-	b := smallProxy()
+	b := testutil.SmallBenchmark()
 	b.Edges[0].Impl = "nope"
-	if _, err := Tune(singleNode(), b, perf.Metrics{}, fastOptions()); err == nil {
+	if _, err := Tune(testutil.WestmereCluster(), b, perf.Metrics{}, fastOptions()); err == nil {
 		t.Fatal("broken benchmark should surface an error")
 	}
 }
@@ -169,13 +151,13 @@ func TestTuneParallelMatchesSequential(t *testing.T) {
 
 	prev := parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prev)
-	seq, err := Tune(singleNode(), smallProxy(), target, opts)
+	seq, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
 		parallel.SetWorkers(workers)
-		par, err := Tune(singleNode(), smallProxy(), target, opts)
+		par, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +174,7 @@ func TestTuneMemoSkipsRepeatedSettings(t *testing.T) {
 	target := selfTarget(t, nil)
 	opts := fastOptions()
 	opts.ImpactFactors = []float64{0.7, 0.7, 1.4} // one duplicated perturbation per parameter
-	res, err := Tune(singleNode(), smallProxy(), target, opts)
+	res, err := Tune(testutil.WestmereCluster(), testutil.SmallBenchmark(), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +296,7 @@ func TestMemoMeasurePanicCachesError(t *testing.T) {
 // any cluster-configuration field that changes simulation results must
 // change the key, not just the configuration's display name.
 func TestMemoKeyFingerprintsFullClusterConfig(t *testing.T) {
-	b := smallProxy()
+	b := testutil.SmallBenchmark()
 	base := sim.SingleNode(arch.Westmere(), 0)
 	ref := MemoKey(sim.MustNewCluster(base), b, nil)
 
@@ -345,13 +327,13 @@ func TestTuneAllQualifiesAcrossArchitectures(t *testing.T) {
 	profiles := []arch.Profile{arch.Westmere(), arch.Haswell()}
 	targets := make([]Target, len(profiles))
 	for i, p := range profiles {
-		rep, err := core.Run(sim.MustNewCluster(sim.SingleNode(p, 0)), smallProxy(), nil)
+		rep, err := core.Run(sim.MustNewCluster(sim.SingleNode(p, 0)), testutil.SmallBenchmark(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		targets[i] = Target{Profile: p, Metrics: rep.Metrics}
 	}
-	results, err := TuneAll(smallProxy(), targets, fastOptions())
+	results, err := TuneAll(testutil.SmallBenchmark(), targets, fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +357,7 @@ func TestTuneAllQualifiesAcrossArchitectures(t *testing.T) {
 			t.Errorf("accuracy matrix missing %q:\n%s", want, matrix)
 		}
 	}
-	if _, err := TuneAll(smallProxy(), nil, fastOptions()); err == nil {
+	if _, err := TuneAll(testutil.SmallBenchmark(), nil, fastOptions()); err == nil {
 		t.Fatal("TuneAll without targets should be rejected")
 	}
 }

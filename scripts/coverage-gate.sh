@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 profile="${1:-coverage.out}"
-floor="${COVERAGE_FLOOR:-80.8}"
+floor="${COVERAGE_FLOOR:-82.1}"
 
 if [ ! -f "$profile" ]; then
   echo "coverage-gate: profile $profile not found (run: go test -short -covermode=atomic -coverprofile=$profile ./...)" >&2
