@@ -1,0 +1,19 @@
+# Builds the static dataproxy serving binaries: proxyd (one shard of the
+# fleet), proxyrouter (the consistent-hash front) and fleetcheck (the typed
+# end-to-end checker).  The module has no external dependencies, so the
+# build needs nothing but the Go toolchain.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags='-s -w' -o /out/proxyd ./cmd/proxyd \
+    && go build -trimpath -ldflags='-s -w' -o /out/proxyrouter ./cmd/proxyrouter \
+    && go build -trimpath -ldflags='-s -w' -o /out/fleetcheck ./cmd/fleetcheck
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/proxyd /out/proxyrouter /out/fleetcheck /usr/local/bin/
+# proxyd listens on 8080, proxyrouter on 8090; docker-compose.yml wires a
+# 3-replica fleet with gossip behind one router.
+EXPOSE 8080 8090
+ENTRYPOINT ["/usr/local/bin/proxyd"]

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full test-sim-short test-sim-nondeterminism test-sim-import-export test-sim-multi-seed test-fuzz bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
+.PHONY: build test test-full test-sim-short test-sim-nondeterminism test-sim-import-export test-sim-multi-seed test-fuzz fleet-e2e bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
 
 ## build: compile every package and command
 build:
@@ -52,6 +52,12 @@ test-fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
 	$(GO) test -run='^$$' -fuzz=FuzzSettingCanonical -fuzztime=10s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzRunRequest -fuzztime=10s ./internal/serve
+
+## fleet-e2e: boot a real 3-replica gossiping fleet + proxyrouter as local
+## processes, drive it through cmd/fleetcheck (typed pkg/client), kill -9 a
+## replica and assert availability with zero duplicate simulations
+fleet-e2e:
+	sh scripts/fleet-e2e.sh
 
 ## bench: run every benchmark once (tables/figures + kernel speedups)
 bench:
@@ -117,7 +123,9 @@ lint: lint-docs lint-links lint-settings
 	fi
 	$(GO) vet ./...
 
-## lint-docs: every exported tuner/dtree/core/perf symbol has a doc comment
+## lint-docs: every exported symbol of the audited packages (tuner, dtree,
+## core, perf, serve, proxy, campaign, fleet, apihttp, pkg/client) has a doc
+## comment
 lint-docs:
 	sh scripts/lint-docs.sh
 

@@ -6,20 +6,31 @@
 //
 //	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N]
 //	       [-state-dir DIR] [-snapshot-interval 30s] [-shutdown-timeout 10s]
+//	       [-name SHARD] [-peers name=url,...] [-gossip-interval 2s] [-gossip-batch N]
 //	       [-faults SPEC] [-check-invariants] [-pprof addr]
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness
-//	GET  /readyz        readiness (503 while restoring or draining)
-//	GET  /metrics       request, cache, queue and durability counters (Prometheus-style)
-//	GET  /v1/workloads  servable proxy benchmarks
-//	GET  /v1/archs      servable architecture profiles
-//	POST /v1/run        execute a proxy: {"workload":"terasort","arch":"westmere","setting":{"dataSize":1.5}}
-//	POST /v1/tune       async qualification; poll GET /v1/jobs/{id}
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while restoring or draining)
+//	GET  /metrics          request, cache, queue, gossip and durability counters (Prometheus-style)
+//	GET  /v1/workloads     servable proxy benchmarks
+//	GET  /v1/archs         servable architecture profiles
+//	POST /v1/run           execute a proxy: {"workload":"terasort","arch":"westmere","setting":{"dataSize":1.5}}
+//	POST /v1/tune          async qualification; poll GET /v1/jobs/{id}
+//	GET  /v1/cluster       this replica's shard name and peer health
+//	POST /v1/peer/entries  bounded cache-entry exchange between replicas
 //
 // Identical /v1/run requests coalesce through the server's result cache
 // (keyed bit-exactly like the auto-tuner's memo); overload is shed with 429.
+// All /v1 errors carry the versioned envelope
+// {"error":{"code":"...","message":"...","retry_after_ms":N}}.
+//
+// With -peers the replica joins a fleet: completed result-cache entries
+// gossip to the named peers in bounded batches, so a setting simulated on
+// one shard becomes a warm hit everywhere (a received entry never overwrites
+// a live local one).  Fleets are usually fronted by proxyrouter, which
+// shards requests over replicas by the same memo key the caches use.
 //
 // With -state-dir the daemon is crash-safe: the result cache and job table
 // are snapshotted there periodically and on SIGTERM, and restored at the
@@ -33,11 +44,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +72,10 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for crash-safe state snapshots; empty disables persistence")
 	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence with -state-dir (0 = default 30s)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "graceful-drain budget on SIGTERM (0 = default 10s)")
+	name := flag.String("name", "", `this replica's shard name, as used in peers' -peers lists (empty = "proxyd")`)
+	peers := flag.String("peers", "", `gossip partners as comma-separated name=url pairs, e.g. "s1=http://10.0.0.2:8080,s2=http://10.0.0.3:8080"`)
+	gossipInterval := flag.Duration("gossip-interval", 0, "cache-gossip cadence with -peers (0 = default 2s)")
+	gossipBatch := flag.Int("gossip-batch", 0, "max cache entries per gossip exchange (0 = default 256)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "serve.evaluate=delay:300ms,serve.snapshot.write=error:disk full*2" (also via DATAPROXY_FAULTS)`)
 	checkInvariants := flag.Bool("check-invariants", false, "validate measurement invariants on every simulation (also via DATAPROXY_INVARIANTS=1)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
@@ -97,6 +114,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	peerList, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:      *inflight,
 		QueueDepth:       *queue,
@@ -105,6 +126,10 @@ func main() {
 		StateDir:         *stateDir,
 		SnapshotInterval: *snapInterval,
 		ShutdownTimeout:  *shutdownTimeout,
+		Name:             *name,
+		Peers:            peerList,
+		GossipInterval:   *gossipInterval,
+		GossipBatch:      *gossipBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,4 +164,24 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// parsePeers parses the -peers flag: comma-separated name=url pairs.
+func parsePeers(spec string) ([]serve.Peer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []serve.Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("proxyd: -peers entry %q is not name=url", part)
+		}
+		out = append(out, serve.Peer{Name: name, URL: strings.TrimRight(url, "/")})
+	}
+	return out, nil
 }

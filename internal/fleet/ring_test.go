@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dataproxy/internal/core"
+)
+
+// testKeys builds a deterministic corpus of distinct keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("terasort|westmere|key-%d", i)
+	}
+	return keys
+}
+
+// aliveAllBut returns a liveness predicate with the given nodes dead.
+func aliveAllBut(dead ...string) func(string) bool {
+	down := make(map[string]bool, len(dead))
+	for _, d := range dead {
+		down[d] = true
+	}
+	return func(n string) bool { return !down[n] }
+}
+
+// TestRingSingleNodeOwnsEverything is the degenerate fleet: with one node
+// every key maps to it and it owns the whole keyspace.
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r := NewRing([]string{"solo"}, 0)
+	for _, k := range testKeys(100) {
+		owner, ok := r.Owner(k, nil)
+		if !ok || owner != "solo" {
+			t.Fatalf("key %q: owner %q ok=%v, want solo", k, owner, ok)
+		}
+	}
+	shares := r.Shares(nil)
+	if math.Abs(shares["solo"]-1) > 1e-9 {
+		t.Fatalf("single node share %g, want 1", shares["solo"])
+	}
+}
+
+// TestRingOwnerIgnoresConstructionOrder pins determinism: rings built from
+// permuted node lists assign identical owners.
+func TestRingOwnerIgnoresConstructionOrder(t *testing.T) {
+	a := NewRing([]string{"s0", "s1", "s2"}, 64)
+	b := NewRing([]string{"s2", "s0", "s1", "s1"}, 64)
+	for _, k := range testKeys(500) {
+		oa, _ := a.Owner(k, nil)
+		ob, _ := b.Owner(k, nil)
+		if oa != ob {
+			t.Fatalf("key %q: owner differs by construction order (%q vs %q)", k, oa, ob)
+		}
+	}
+}
+
+// TestRingRebalanceMovesOnlyDeadKeyspace is the satellite property: killing
+// one node must not move any key owned by a surviving node, and every moved
+// key must land on a survivor.
+func TestRingRebalanceMovesOnlyDeadKeyspace(t *testing.T) {
+	nodes := []string{"s0", "s1", "s2", "s3", "s4"}
+	r := NewRing(nodes, 0)
+	keys := testKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owner, ok := r.Owner(k, nil)
+		if !ok {
+			t.Fatalf("no owner for %q with all nodes alive", k)
+		}
+		before[k] = owner
+	}
+	for _, dead := range nodes {
+		alive := aliveAllBut(dead)
+		moved := 0
+		for _, k := range keys {
+			after, ok := r.Owner(k, alive)
+			if !ok {
+				t.Fatalf("no owner for %q with only %q dead", k, dead)
+			}
+			if after == dead {
+				t.Fatalf("key %q assigned to dead node %q", k, dead)
+			}
+			if before[k] != dead && after != before[k] {
+				t.Fatalf("killing %q moved key %q from live owner %q to %q", dead, k, before[k], after)
+			}
+			if before[k] == dead {
+				moved++
+			}
+		}
+		if moved == 0 {
+			t.Errorf("node %q owned no test keys; corpus too small to exercise rebalance", dead)
+		}
+	}
+}
+
+// TestRingSharesArePartition checks the keyspace shares form a probability
+// partition and stay reasonably balanced at the default vnode count.
+func TestRingSharesArePartition(t *testing.T) {
+	r := NewRing([]string{"s0", "s1", "s2"}, 0)
+	for _, alive := range []func(string) bool{nil, aliveAllBut("s1")} {
+		shares := r.Shares(alive)
+		sum := 0.0
+		for _, s := range shares {
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %g, want 1 (shares %v)", sum, shares)
+		}
+	}
+	shares := r.Shares(nil)
+	for n, s := range shares {
+		if s < 0.15 || s > 0.55 {
+			t.Errorf("node %s share %.3f is badly unbalanced for 128 vnodes", n, s)
+		}
+	}
+	dead := r.Shares(aliveAllBut("s1"))
+	if dead["s1"] != 0 {
+		t.Errorf("dead node should hold no keyspace, got %g", dead["s1"])
+	}
+}
+
+// TestRingNoLiveNode pins the empty-fleet behaviour: no owner, no shares.
+func TestRingNoLiveNode(t *testing.T) {
+	r := NewRing([]string{"s0", "s1"}, 8)
+	if _, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Fatal("a fully dead ring must report no owner")
+	}
+	if shares := r.Shares(func(string) bool { return false }); len(shares) != 0 {
+		t.Fatalf("a fully dead ring must report no shares, got %v", shares)
+	}
+	if _, ok := NewRing(nil, 8).Owner("k", nil); ok {
+		t.Fatal("an empty ring must report no owner")
+	}
+}
+
+// TestShardingKeys pins the key normalisation: the default architecture and
+// the default setting are spelled out, so a request that omits them shards
+// identically to one that states them.
+func TestShardingKeys(t *testing.T) {
+	if RunKey("terasort", "", nil) != RunKey("terasort", "westmere", core.DefaultSetting()) {
+		t.Error("omitted arch/setting must shard like their explicit defaults")
+	}
+	if RunKey("terasort", "westmere", core.Setting{"dataSize": 1.5}) == RunKey("terasort", "westmere", nil) {
+		t.Error("distinct settings must shard under distinct keys")
+	}
+	if TuneKey("terasort", "") != TuneKey("terasort", "westmere") {
+		t.Error("omitted tune arch must shard like the explicit default")
+	}
+	if TuneKey("terasort", "westmere") == RunKey("terasort", "westmere", nil) {
+		t.Error("tune and run keyspaces must not collide")
+	}
+}

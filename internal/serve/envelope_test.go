@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dataproxy/pkg/client"
+)
+
+// knownCodes is the closed set of stable error codes the serving layer may
+// emit; the conformance test fails on anything outside it.
+var knownCodes = map[client.ErrorCode]bool{
+	client.CodeBadRequest:  true,
+	client.CodeShed:        true,
+	client.CodeDraining:    true,
+	client.CodeNotFound:    true,
+	client.CodeInternal:    true,
+	client.CodeUnavailable: true,
+}
+
+// TestErrorEnvelopeConformance drives every error path the HTTP surface can
+// take — handler-side validation failures, shed/draining rejections, missing
+// resources, and the mux's own unmatched-route and wrong-method errors — and
+// asserts each response is the versioned JSON envelope with a known stable
+// code, never a bare-text body.  Retryable (429/503) responses must carry a
+// Retry-After header agreeing with the body's retry_after_ms.
+func TestErrorEnvelopeConformance(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		draining   bool
+		wantStatus int
+		wantCode   client.ErrorCode
+	}{
+		{"malformed json", "POST", "/v1/run", `{"workload":`, false, 400, client.CodeBadRequest},
+		{"unknown field", "POST", "/v1/run", `{"workloud":"wc"}`, false, 400, client.CodeBadRequest},
+		{"unknown workload", "POST", "/v1/run", `{"workload":"nope"}`, false, 400, client.CodeBadRequest},
+		{"unknown arch", "POST", "/v1/run", `{"workload":"terasort","arch":"alpha"}`, false, 400, client.CodeBadRequest},
+		{"setting and settings", "POST", "/v1/run", `{"workload":"terasort","setting":{},"settings":[{}]}`, false, 400, client.CodeBadRequest},
+		{"empty batch", "POST", "/v1/run", `{"workload":"terasort","settings":[]}`, false, 400, client.CodeBadRequest},
+		{"bad tune threshold", "POST", "/v1/tune", `{"workload":"terasort","threshold":2}`, false, 400, client.CodeBadRequest},
+		{"unknown job", "GET", "/v1/jobs/job-999", "", false, 404, client.CodeNotFound},
+		{"unmatched route", "GET", "/v1/nope", "", false, 404, client.CodeNotFound},
+		{"wrong method", "GET", "/v1/run", "", false, 405, client.CodeBadRequest},
+		{"run while draining", "POST", "/v1/run", `{"workload":"terasort"}`, true, 429, client.CodeShed},
+		{"tune while draining", "POST", "/v1/tune", `{"workload":"terasort"}`, true, 429, client.CodeDraining},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s.draining.Store(tc.draining)
+			s.sched.draining.Store(tc.draining)
+			defer func() {
+				s.draining.Store(false)
+				s.sched.draining.Store(false)
+			}()
+
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d body %s, want %d", resp.StatusCode, raw, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type %q is not JSON (body %s)", ct, raw)
+			}
+			var env client.ErrorEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("body is not a decodable envelope: %v (body %s)", err, raw)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q (body %s)", env.Error.Code, tc.wantCode, raw)
+			}
+			if !knownCodes[env.Error.Code] {
+				t.Errorf("code %q outside the stable set", env.Error.Code)
+			}
+			if env.Error.Message == "" {
+				t.Error("envelope has an empty message")
+			}
+			if resp.StatusCode == 429 || resp.StatusCode == 503 {
+				ra := resp.Header.Get("Retry-After")
+				if ra == "" {
+					t.Fatal("retryable response is missing Retry-After")
+				}
+				secs, err := strconv.ParseInt(ra, 10, 64)
+				if err != nil || secs <= 0 {
+					t.Fatalf("unparsable Retry-After %q", ra)
+				}
+				if env.Error.RetryAfterMS <= 0 || env.Error.RetryAfterMS > secs*1000 {
+					t.Errorf("retry_after_ms %d disagrees with Retry-After %ds", env.Error.RetryAfterMS, secs)
+				}
+			}
+		})
+	}
+}
+
+// TestJobResponseByteCompatible pins the satellite contract of the
+// /v1/jobs/{id} redesign: projecting a Job onto JobResponse must produce
+// byte-identical JSON to marshalling the raw store record, finished and
+// unfinished alike.
+func TestJobResponseByteCompatible(t *testing.T) {
+	created := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	jobs := []Job{
+		{
+			ID: "job-1", State: JobQueued, Workload: "wc", Arch: "westmere",
+			Created: created,
+			Request: TuneRequest{Workload: "wc"}, // must NOT leak into either shape
+		},
+		{
+			ID: "job-2", State: JobFailed, Workload: "sort", Arch: "haswell",
+			Created: created, Finished: created.Add(time.Minute),
+			Error: "boom",
+		},
+		{
+			ID: "job-3", State: JobDone, Workload: "grep", Arch: "westmere",
+			Created: created, Finished: created.Add(2 * time.Minute),
+			Result: &TuneResult{
+				Setting:   map[string]float64{"dataSize": 1.5},
+				Converged: true, Iterations: 3, Evaluations: 9, MemoHits: 2,
+				PerMetric: map[string]float64{},
+			},
+		},
+	}
+	for _, j := range jobs {
+		raw, err := json.Marshal(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typed, err := json.Marshal(jobResponse(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, typed) {
+			t.Errorf("job %s: typed response diverged from raw record:\nraw:   %s\ntyped: %s", j.ID, raw, typed)
+		}
+	}
+}

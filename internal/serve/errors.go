@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"dataproxy/internal/apihttp"
+	"dataproxy/pkg/client"
+)
+
+// shedRetryAfter is the delay advertised with every load-shedding (429)
+// response, mirrored in the Retry-After header and the envelope body.
+const shedRetryAfter = time.Second
+
+// apiError writes the versioned /v1 error envelope with an explicit stable
+// code; see apihttp.Error for the header/body mirroring contract.
+func apiError(w http.ResponseWriter, status int, code client.ErrorCode, msg string, retryAfter time.Duration) {
+	apihttp.Error(w, status, code, msg, retryAfter)
+}
+
+// httpError writes the envelope with the default code for the status
+// (apihttp.CodeForStatus); shedding statuses (429, 503) carry the standard
+// retry delay.  Handlers needing a non-default code for a status (the
+// draining 429) call apiError directly.
+func httpError(w http.ResponseWriter, status int, err error) {
+	var retryAfter time.Duration
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		retryAfter = shedRetryAfter
+	}
+	apiError(w, status, apihttp.CodeForStatus(status), err.Error(), retryAfter)
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dataproxy/internal/apihttp"
 	"dataproxy/internal/arch"
 	"dataproxy/internal/core"
 	"dataproxy/internal/faultinject"
@@ -45,6 +46,7 @@ import (
 	"dataproxy/internal/sim"
 	"dataproxy/internal/tuner"
 	"dataproxy/internal/workloads"
+	"dataproxy/pkg/client"
 )
 
 // Config tunes the server's admission policy and queue sizes.  The zero
@@ -81,6 +83,18 @@ type Config struct {
 	// ShutdownTimeout bounds how long Drain waits for in-flight work before
 	// snapshotting and giving up.  Zero selects 10 seconds.
 	ShutdownTimeout time.Duration
+	// Name is this replica's shard name, reported by GET /v1/cluster and
+	// attached to outgoing gossip.  Empty selects "proxyd".
+	Name string
+	// Peers lists the replica's gossip partners.  Empty disables gossip (the
+	// peer endpoints still serve, so a fleet can be grown one node at a time).
+	Peers []Peer
+	// GossipInterval is the cadence of anti-entropy exchanges when Peers is
+	// non-empty.  Zero selects 2 seconds.
+	GossipInterval time.Duration
+	// GossipBatch bounds how many memo entries one exchange may carry per
+	// peer.  Zero selects 256.
+	GossipBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +121,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.Name == "" {
+		c.Name = "proxyd"
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 2 * time.Second
+	}
+	if c.GossipBatch <= 0 {
+		c.GossipBatch = 256
 	}
 	return c
 }
@@ -136,6 +159,9 @@ type Server struct {
 	state    *stateManager
 	ready    atomic.Bool
 	draining atomic.Bool
+
+	// peers is the gossip manager, nil unless Config.Peers is set.
+	peers *peerManager
 
 	httpInFlight atomic.Int64
 	reqMu        sync.Mutex
@@ -183,6 +209,11 @@ func New(cfg Config) (*Server, error) {
 		s.state.restore()
 		s.done.Add(1)
 		go s.state.snapshotLoop(cfg.SnapshotInterval)
+	}
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerManager(s, cfg.Peers, cfg.GossipInterval, cfg.GossipBatch)
+		s.done.Add(1)
+		go s.peers.gossipLoop()
 	}
 	s.ready.Store(true)
 	s.done.Add(1)
@@ -255,8 +286,10 @@ func (s *Server) Close() {
 	s.done.Wait()
 }
 
-// Handler returns the HTTP handler serving the proxyd API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the proxyd API.  The mux is
+// wrapped so even unmatched-route and wrong-method errors carry the /v1
+// error envelope instead of the mux's bare-text bodies.
+func (s *Server) Handler() http.Handler { return apihttp.EnvelopeFallback(s.mux) }
 
 // Config returns the server's configuration with defaults resolved.
 func (s *Server) Config() Config { return s.cfg }
@@ -270,6 +303,8 @@ func (s *Server) routes() {
 	s.handle("POST /v1/run", s.handleRun)
 	s.handle("POST /v1/tune", s.handleTune)
 	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("GET /v1/cluster", s.handleCluster)
+	s.handle("POST /v1/peer/entries", s.handlePeerEntries)
 }
 
 // handle registers a route with request counting and the in-flight gauge.
@@ -381,7 +416,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	metrics, coalesced, err := s.sched.run(r.Context(), archName, b, setting)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
@@ -411,7 +445,6 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request, req RunR
 	err = s.sched.runBatch(r.Context(), archName, b, settings, metrics, coalesced)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
@@ -551,8 +584,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, errors.New("serve: draining"))
+		apiError(w, http.StatusTooManyRequests, client.CodeDraining, "serve: draining", shedRetryAfter)
 		return
 	}
 	job := s.jobs.create(req, s.now())
@@ -563,8 +595,44 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		// The client is shed with 429 and never sees the ID, so drop the
 		// record instead of keeping a permanently failed job per rejection.
 		s.jobs.remove(job.ID)
-		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, errors.New("serve: tune queue full"))
+	}
+}
+
+// JobResponse is the body of GET /v1/jobs/{id}: the typed projection of a
+// Job record, field-for-field byte-compatible with the raw struct the
+// endpoint historically returned (same JSON names, order and omit rules) but
+// decoupled from the store's internal record so the endpoint shape matches
+// the other typed responses the client package decodes.
+type JobResponse struct {
+	// ID is the opaque job identifier returned by POST /v1/tune.
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State JobState `json:"state"`
+	// Workload and Arch echo the tuning request.
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	// Created and Finished are wall-clock timestamps (Finished is zero until
+	// the job completes).
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Error holds the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Result holds the tuning outcome of a done job.
+	Result *TuneResult `json:"result,omitempty"`
+}
+
+// jobResponse projects a store record onto the response type.
+func jobResponse(j Job) JobResponse {
+	return JobResponse{
+		ID:       j.ID,
+		State:    j.State,
+		Workload: j.Workload,
+		Arch:     j.Arch,
+		Created:  j.Created,
+		Finished: j.Finished,
+		Error:    j.Error,
+		Result:   j.Result,
 	}
 }
 
@@ -574,7 +642,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	writeJSON(w, http.StatusOK, jobResponse(job))
 }
 
 // validateTune rejects request errors synchronously — with a 400 at submit
@@ -847,6 +915,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "proxyd_ready %d\n", boolGauge(s.ready.Load()))
 	fmt.Fprintf(w, "proxyd_draining %d\n", boolGauge(s.draining.Load()))
+	s.writeGossipMetrics(w)
 	s.writeDurabilityMetrics(w)
 }
 
@@ -897,14 +966,7 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// writeJSON writes v as indent-2 JSON (the shared apihttp encoding).
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	apihttp.WriteJSON(w, status, v)
 }

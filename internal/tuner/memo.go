@@ -254,6 +254,30 @@ func (m *Memo) Export() []ExportedEntry {
 	return out
 }
 
+// ExportLimited returns up to max completed, successful measurements whose
+// keys the skip predicate (nil: keep everything) does not reject, in key
+// order.  It is the bounded form of Export used by the serving layer's
+// anti-entropy gossip: each exchange offers a peer at most one batch of
+// entries it has not acknowledged yet, so a large cache drains over several
+// rounds instead of one unbounded push.
+func (m *Memo) ExportLimited(max int, skip func(key string) bool) []ExportedEntry {
+	if max <= 0 {
+		return nil
+	}
+	all := m.Export()
+	out := make([]ExportedEntry, 0, min(max, len(all)))
+	for _, e := range all {
+		if skip != nil && skip(e.Key) {
+			continue
+		}
+		out = append(out, e)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
 // Restore pre-completes key with a previously exported measurement, so a
 // warm-started memo answers Peek/PeekBytes (and absorbs Measure calls as
 // hits) exactly as the memo the snapshot was taken from.  It reports

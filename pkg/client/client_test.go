@@ -1,0 +1,390 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instant makes a client's retry/poll sleeps return immediately while still
+// recording the requested delays.
+func instant(c *Client) *[]time.Duration {
+	var delays []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		delays = append(delays, d)
+		return nil
+	}
+	return &delays
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code ErrorCode, msg string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorDetail{
+		Code: code, Message: msg, RetryAfterMS: retryAfter.Milliseconds(),
+	}})
+}
+
+func TestRunDecodesResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/run" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Fatalf("decode request: %v", err)
+		}
+		if req.Workload != "wc" || req.Setting["dataSize"] != 1.5 {
+			t.Errorf("request not round-tripped: %+v", req)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"workload": "wc", "benchmark": "sort-bench", "arch": "westmere",
+			"runtime_seconds": 1.25, "coalesced": true,
+			"metrics": map[string]float64{"ipc": 0.9},
+		})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	resp, err := c.Run(context.Background(), RunRequest{Workload: "wc", Setting: map[string]float64{"dataSize": 1.5}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !resp.Coalesced || resp.RuntimeSeconds != 1.25 || resp.Benchmark != "sort-bench" {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+	mv, err := resp.MetricValues()
+	if err != nil || mv["ipc"] != 0.9 {
+		t.Errorf("MetricValues = %v, %v", mv, err)
+	}
+}
+
+func TestRunRejectsBatchLocally(t *testing.T) {
+	c := New("http://unused.invalid")
+	if _, err := c.Run(context.Background(), RunRequest{Workload: "wc", Settings: []map[string]float64{{}}}); err == nil {
+		t.Fatal("Run accepted a Settings batch")
+	}
+	if _, err := c.RunBatch(context.Background(), RunRequest{Workload: "wc"}); err == nil {
+		t.Fatal("RunBatch accepted an empty batch")
+	}
+}
+
+func TestRunBatchPreservesOrder(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		results := make([]map[string]any, len(req.Settings))
+		for i := range req.Settings {
+			results[i] = map[string]any{"runtime_seconds": float64(i), "coalesced": false, "metrics": map[string]float64{}}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"workload": "wc", "benchmark": "b", "arch": "westmere", "results": results})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	resp, err := c.RunBatch(context.Background(), RunRequest{
+		Workload: "wc",
+		Settings: []map[string]float64{{"dataSize": 1}, {"dataSize": 2}, {"dataSize": 3}},
+	})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.RuntimeSeconds != float64(i) {
+			t.Errorf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestRetryOnShedHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeEnvelope(w, http.StatusTooManyRequests, CodeShed, "queue full", 300*time.Millisecond)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"workload": "wc"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	delays := instant(c)
+	if _, err := c.Run(context.Background(), RunRequest{Workload: "wc"}); err != nil {
+		t.Fatalf("Run after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	for i, d := range *delays {
+		if d < 300*time.Millisecond {
+			t.Errorf("retry %d waited %v, want >= server-advertised 300ms", i, d)
+		}
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusTooManyRequests, CodeShed, "queue full", 0)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(2))
+	instant(c)
+	_, err := c.Run(context.Background(), RunRequest{Workload: "wc"})
+	if !IsShed(err) {
+		t.Fatalf("want shed error, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 1 + 2 retries", got)
+	}
+}
+
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusBadRequest, CodeBadRequest, "unknown workload", 0)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	instant(c)
+	_, err := c.Run(context.Background(), RunRequest{Workload: "nope"})
+	ae, ok := AsAPIError(err)
+	if !ok || ae.Code != CodeBadRequest || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want bad_request APIError, got %v", err)
+	}
+	if IsRetryable(err) || IsShed(err) {
+		t.Error("bad_request must not classify as retryable or shed")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want exactly 1 (no retries)", got)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		name                      string
+		err                       *APIError
+		shed, retryable, notFound bool
+	}{
+		{"shed", &APIError{Status: 429, Code: CodeShed}, true, true, false},
+		{"draining", &APIError{Status: 429, Code: CodeDraining}, false, true, false},
+		{"unavailable", &APIError{Status: 503, Code: CodeUnavailable}, false, true, false},
+		{"not_found", &APIError{Status: 404, Code: CodeNotFound}, false, false, true},
+		{"internal", &APIError{Status: 500, Code: CodeInternal}, false, false, false},
+		{"bare 429", &APIError{Status: 429}, true, true, false},
+		{"bare 503", &APIError{Status: 503}, false, true, false},
+		{"bare 404", &APIError{Status: 404}, false, false, true},
+	}
+	for _, tc := range cases {
+		if got := IsShed(tc.err); got != tc.shed {
+			t.Errorf("%s: IsShed = %v, want %v", tc.name, got, tc.shed)
+		}
+		if got := IsRetryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: IsRetryable = %v, want %v", tc.name, got, tc.retryable)
+		}
+		if got := IsNotFound(tc.err); got != tc.notFound {
+			t.Errorf("%s: IsNotFound = %v, want %v", tc.name, got, tc.notFound)
+		}
+	}
+	if IsShed(nil) || IsRetryable(nil) || IsNotFound(nil) {
+		t.Error("nil error must not classify as anything")
+	}
+}
+
+func TestDecodeAPIErrorFallsBackToRawBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "bare text error", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(0))
+	_, err := c.Run(context.Background(), RunRequest{Workload: "wc"})
+	ae, ok := AsAPIError(err)
+	if !ok {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if ae.Code != "" || ae.Message != "bare text error\n" || ae.Status != http.StatusServiceUnavailable {
+		t.Errorf("fallback decode wrong: %+v", ae)
+	}
+	if ae.RetryAfter != 2*time.Second {
+		t.Errorf("Retry-After header not honoured: %v", ae.RetryAfter)
+	}
+	if !IsRetryable(err) {
+		t.Error("bare 503 should still be retryable")
+	}
+}
+
+func TestTuneAndPollJob(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/tune":
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(TuneResponse{JobID: "job-1", State: JobQueued})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/jobs/job-1":
+			state := JobRunning
+			if polls.Add(1) >= 3 {
+				state = JobDone
+			}
+			json.NewEncoder(w).Encode(map[string]any{
+				"id": "job-1", "state": state, "workload": "wc", "arch": "westmere",
+				"created": time.Now().UTC(),
+				"result":  map[string]any{"setting": map[string]float64{"dataSize": 1.5}, "converged": true},
+			})
+		default:
+			writeEnvelope(w, http.StatusNotFound, CodeNotFound, "no such route", 0)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	instant(c)
+	tr, err := c.Tune(context.Background(), TuneRequest{Workload: "wc"})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if tr.JobID != "job-1" || tr.State != JobQueued {
+		t.Fatalf("unexpected tune response: %+v", tr)
+	}
+	job, err := c.PollJob(context.Background(), tr.JobID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("PollJob: %v", err)
+	}
+	if !job.IsFinished() || job.State != JobDone || job.Result == nil || !job.Result.Converged {
+		t.Errorf("unexpected terminal job: %+v", job)
+	}
+
+	_, err = c.Job(context.Background(), "job-404")
+	if !IsNotFound(err) {
+		t.Errorf("missing job should be IsNotFound, got %v", err)
+	}
+}
+
+func TestPollJobRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"id": "job-1", "state": JobRunning, "created": time.Now().UTC()})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(srv.URL)
+	if _, err := c.PollJob(ctx, "job-1", time.Millisecond); err == nil {
+		t.Fatal("PollJob ignored a cancelled context")
+	}
+}
+
+func TestListingsAndCluster(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/workloads":
+			json.NewEncoder(w).Encode([]WorkloadInfo{{Workload: "wc", Benchmark: "b", Motifs: []string{"dense"}}})
+		case "/v1/archs":
+			json.NewEncoder(w).Encode([]ArchInfo{{Arch: "westmere", Profile: "Intel Westmere"}})
+		case "/v1/cluster":
+			json.NewEncoder(w).Encode(ClusterResponse{
+				Self: "s0", Role: RoleReplica,
+				Peers: []PeerInfo{{Name: "s1", URL: "http://s1", Healthy: true, EntriesSent: 4}},
+			})
+		default:
+			writeEnvelope(w, http.StatusNotFound, CodeNotFound, "no such route", 0)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	ctx := context.Background()
+	wl, err := c.Workloads(ctx)
+	if err != nil || len(wl) != 1 || wl[0].Workload != "wc" {
+		t.Errorf("Workloads = %v, %v", wl, err)
+	}
+	ar, err := c.Archs(ctx)
+	if err != nil || len(ar) != 1 || ar[0].Arch != "westmere" {
+		t.Errorf("Archs = %v, %v", ar, err)
+	}
+	cl, err := c.Cluster(ctx)
+	if err != nil || cl.Self != "s0" || cl.Role != RoleReplica || len(cl.Peers) != 1 || cl.Peers[0].EntriesSent != 4 {
+		t.Errorf("Cluster = %+v, %v", cl, err)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	ready := atomic.Bool{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		case "/readyz":
+			if !ready.Load() {
+				writeEnvelope(w, http.StatusServiceUnavailable, CodeUnavailable, "no healthy backend", 0)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+		case "/metrics":
+			w.Write([]byte("proxyd_run_executed_total 7\nproxyd_peer_healthy{peer=\"s1\"} 1\nbroken NaNNaN\n"))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	ctx := context.Background()
+	if err := c.Healthy(ctx); err != nil {
+		t.Errorf("Healthy: %v", err)
+	}
+	if err := c.Ready(ctx); !IsRetryable(err) {
+		t.Errorf("not-ready should be a retryable APIError, got %v", err)
+	}
+	ready.Store(true)
+	if err := c.Ready(ctx); err != nil {
+		t.Errorf("Ready after flip: %v", err)
+	}
+
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatalf("MetricsText: %v", err)
+	}
+	if v, ok := ParseMetric(text, "proxyd_run_executed_total"); !ok || v != 7 {
+		t.Errorf("ParseMetric executed_total = %v, %v", v, ok)
+	}
+	if v, ok := ParseMetric(text, `proxyd_peer_healthy{peer="s1"}`); !ok || v != 1 {
+		t.Errorf("ParseMetric labelled gauge = %v, %v", v, ok)
+	}
+	if _, ok := ParseMetric(text, "absent_metric"); ok {
+		t.Error("ParseMetric found an absent metric")
+	}
+	if _, ok := ParseMetric(text, "broken"); ok {
+		t.Error("ParseMetric accepted an unparsable value")
+	}
+}
+
+func TestJobResponseFinishedStates(t *testing.T) {
+	for _, s := range []string{JobQueued, JobRunning} {
+		if (&JobResponse{State: s}).IsFinished() {
+			t.Errorf("state %q should not be finished", s)
+		}
+	}
+	for _, s := range []string{JobDone, JobFailed} {
+		if !(&JobResponse{State: s}).IsFinished() {
+			t.Errorf("state %q should be finished", s)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ErrorCode is a stable, machine-readable error classification carried by
+// every /v1 error response.  Forwarding layers and clients branch on the
+// code — never on the human-readable message.
+type ErrorCode string
+
+// The stable error codes of the /v1 surface.  New codes may be added; codes
+// are never renamed or reused.
+const (
+	// CodeBadRequest: the request itself is invalid (unknown workload or
+	// parameter, malformed JSON, out-of-range value).  Retrying is useless.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeShed: the admission queue is full and the request was shed.
+	// Retry after the advertised delay.
+	CodeShed ErrorCode = "shed"
+	// CodeDraining: the server is gracefully shutting down and sheds new
+	// work.  Retry against another replica (or later).
+	CodeDraining ErrorCode = "draining"
+	// CodeNotFound: the route or resource (e.g. a job ID) does not exist.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeInternal: the server failed to execute a valid request.
+	CodeInternal ErrorCode = "internal"
+	// CodeUnavailable: a router could not reach any replica owning the
+	// request's shard.  Retry after the advertised delay.
+	CodeUnavailable ErrorCode = "unavailable"
+)
+
+// ErrorDetail is the inner object of the versioned /v1 error envelope.
+type ErrorDetail struct {
+	// Code is the stable machine-readable classification.
+	Code ErrorCode `json:"code"`
+	// Message is the human-readable explanation.  Its wording is not part of
+	// the API contract.
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header in milliseconds; 0 means
+	// the server suggested no delay (typically non-retryable errors).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope is the body shape of every /v1 error response:
+// {"error":{"code":"...","message":"...","retry_after_ms":N}}.
+type ErrorEnvelope struct {
+	// Error carries the error detail.
+	Error ErrorDetail `json:"error"`
+}
+
+// APIError is a decoded /v1 error response.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the envelope's stable error code (empty when the body did not
+	// carry a decodable envelope — classification then falls back to Status).
+	Code ErrorCode
+	// Message is the envelope's human-readable message (or the raw body when
+	// no envelope was decodable).
+	Message string
+	// RetryAfter is the server-suggested retry delay (from the envelope's
+	// retry_after_ms, falling back to the Retry-After header), 0 if none.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("client: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// AsAPIError unwraps err into an *APIError if it carries one.
+func AsAPIError(err error) (*APIError, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// IsShed reports whether err is a load-shedding rejection (code "shed", or a
+// bare 429 from a server predating the envelope).
+func IsShed(err error) bool {
+	ae, ok := AsAPIError(err)
+	if !ok {
+		return false
+	}
+	return ae.Code == CodeShed || (ae.Code == "" && ae.Status == http.StatusTooManyRequests)
+}
+
+// IsRetryable reports whether retrying err later (or elsewhere) can succeed:
+// load shedding, a draining replica, or an unavailable shard.  Bad requests,
+// missing resources and internal errors are not retryable.
+func IsRetryable(err error) bool {
+	ae, ok := AsAPIError(err)
+	if !ok {
+		return false
+	}
+	switch ae.Code {
+	case CodeShed, CodeDraining, CodeUnavailable:
+		return true
+	case "":
+		return ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// IsNotFound reports whether err is a not_found rejection (unknown route or
+// resource, e.g. polling a job ID the fleet no longer knows).
+func IsNotFound(err error) bool {
+	ae, ok := AsAPIError(err)
+	if !ok {
+		return false
+	}
+	return ae.Code == CodeNotFound || (ae.Code == "" && ae.Status == http.StatusNotFound)
+}
+
+// decodeAPIError builds the APIError of a non-2xx response from its envelope
+// body, falling back to the raw body and Retry-After header when the body is
+// not a decodable envelope (so even a non-conforming proxy in front of the
+// fleet still yields a classifiable error).
+func decodeAPIError(status int, header http.Header, body []byte) *APIError {
+	ae := &APIError{Status: status}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && (env.Error.Code != "" || env.Error.Message != "") {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		ae.RetryAfter = time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	} else {
+		const maxMsg = 256
+		msg := string(body)
+		if len(msg) > maxMsg {
+			msg = msg[:maxMsg]
+		}
+		ae.Message = msg
+	}
+	if ae.RetryAfter == 0 {
+		if ra := header.Get("Retry-After"); ra != "" {
+			var secs int64
+			if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return ae
+}

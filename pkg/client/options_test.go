@@ -1,0 +1,99 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNewOptionsAndBaseURL(t *testing.T) {
+	hc := &http.Client{Timeout: time.Second}
+	c := New("http://example:8080/", WithHTTPClient(hc), WithRetries(7), WithBackoff(time.Millisecond, time.Minute))
+	if c.BaseURL() != "http://example:8080" {
+		t.Fatalf("BaseURL = %q, want trailing slash trimmed", c.BaseURL())
+	}
+	if c.hc != hc {
+		t.Fatal("WithHTTPClient did not install the client")
+	}
+	if c.maxRetries != 7 {
+		t.Fatalf("maxRetries = %d", c.maxRetries)
+	}
+	if c.backoff != time.Millisecond || c.maxBackoff != time.Minute {
+		t.Fatalf("backoff = %v/%v", c.backoff, c.maxBackoff)
+	}
+}
+
+func TestAPIErrorString(t *testing.T) {
+	withCode := &APIError{Status: 429, Code: CodeShed, Message: "queue full"}
+	if got := withCode.Error(); got != "client: queue full (shed, HTTP 429)" {
+		t.Fatalf("Error() = %q", got)
+	}
+	bare := &APIError{Status: 502, Message: "bad gateway"}
+	if got := bare.Error(); got != "client: bad gateway (HTTP 502)" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestMetricValuesDecoding(t *testing.T) {
+	run := &RunResponse{Metrics: []byte(`{"IPC": 1.5, "MIPS": 1200}`)}
+	m, err := run.MetricValues()
+	if err != nil || m["IPC"] != 1.5 || m["MIPS"] != 1200 {
+		t.Fatalf("MetricValues = %v, %v", m, err)
+	}
+	res := &RunResult{Metrics: []byte(`{"IPC": 2}`)}
+	if m, err := res.MetricValues(); err != nil || m["IPC"] != 2 {
+		t.Fatalf("RunResult.MetricValues = %v, %v", m, err)
+	}
+
+	// An absent vector decodes to nil; garbage surfaces the decode error.
+	if m, err := (&RunResponse{}).MetricValues(); err != nil || m != nil {
+		t.Fatalf("empty MetricValues = %v, %v", m, err)
+	}
+	if _, err := (&RunResponse{Metrics: []byte(`{`)}).MetricValues(); err == nil {
+		t.Fatal("malformed metric vector did not error")
+	}
+}
+
+func TestTypedMethodsSurfaceServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":{"code":"internal","message":"boom"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	ctx := context.Background()
+
+	if _, err := c.Workloads(ctx); !errorsIsInternal(err) {
+		t.Errorf("Workloads: %v", err)
+	}
+	if _, err := c.Archs(ctx); !errorsIsInternal(err) {
+		t.Errorf("Archs: %v", err)
+	}
+	if _, err := c.Cluster(ctx); !errorsIsInternal(err) {
+		t.Errorf("Cluster: %v", err)
+	}
+	if _, err := c.Job(ctx, "job-1"); !errorsIsInternal(err) {
+		t.Errorf("Job: %v", err)
+	}
+	if _, err := c.Tune(ctx, TuneRequest{Workload: "terasort"}); !errorsIsInternal(err) {
+		t.Errorf("Tune: %v", err)
+	}
+	if _, err := c.PollJob(ctx, "job-1", time.Millisecond); !errorsIsInternal(err) {
+		t.Errorf("PollJob: %v", err)
+	}
+	if _, err := c.RunBatch(ctx, RunRequest{Workload: "terasort", Settings: []map[string]float64{{}}}); !errorsIsInternal(err) {
+		t.Errorf("RunBatch: %v", err)
+	}
+	if _, err := c.MetricsText(ctx); !errorsIsInternal(err) {
+		t.Errorf("MetricsText: %v", err)
+	}
+}
+
+// errorsIsInternal reports whether err decoded to the internal envelope code.
+func errorsIsInternal(err error) bool {
+	ae, ok := AsAPIError(err)
+	return ok && ae.Code == CodeInternal && ae.Message == "boom"
+}

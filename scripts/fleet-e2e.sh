@@ -1,0 +1,100 @@
+#!/bin/sh
+# fleet-e2e.sh boots a real 3-replica proxyd fleet with cache gossip plus a
+# proxyrouter in front, then drives it through cmd/fleetcheck (the typed
+# pkg/client): smoke, a cold/warm mix with the fleet-wide no-duplicate-
+# simulation assertion, a kill -9 of one replica, and a post-kill pass that
+# must stay 5xx-free and fully cache-warm (gossip already spread the dead
+# shard's entries).  Everything runs as local processes — no containers —
+# so CI and developers exercise the same path.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+LOGS=$(mktemp -d)
+R0=127.0.0.1:8101
+R1=127.0.0.1:8102
+R2=127.0.0.1:8103
+ROUTER=127.0.0.1:8100
+PIDS=""
+
+cleanup() {
+  for pid in $PIDS; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "fleet-e2e: $1" >&2
+  echo "--- logs ---" >&2
+  tail -n 40 "$LOGS"/*.log >&2 || true
+  exit 1
+}
+
+wait_ready() {
+  i=0
+  while ! curl -sf "http://$1/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && fail "$2 never became ready"
+    sleep 0.2
+  done
+}
+
+metric() { # metric <host:port> <name> -> value (0 when absent)
+  curl -sf "http://$1/metrics" | awk -v n="$2" '$1 == n { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+echo "fleet-e2e: building proxyd, proxyrouter and fleetcheck"
+go build -o "$BIN/proxyd" ./cmd/proxyd
+go build -o "$BIN/proxyrouter" ./cmd/proxyrouter
+go build -o "$BIN/fleetcheck" ./cmd/fleetcheck
+
+echo "fleet-e2e: booting 3 gossiping replicas + router"
+"$BIN/proxyd" -addr "$R0" -name s0 -peers "s1=http://$R1,s2=http://$R2" -gossip-interval 300ms >"$LOGS/s0.log" 2>&1 &
+PIDS="$PIDS $!"
+S1_PID=""
+"$BIN/proxyd" -addr "$R1" -name s1 -peers "s0=http://$R0,s2=http://$R2" -gossip-interval 300ms >"$LOGS/s1.log" 2>&1 &
+S1_PID=$!
+PIDS="$PIDS $S1_PID"
+"$BIN/proxyd" -addr "$R2" -name s2 -peers "s0=http://$R0,s1=http://$R1" -gossip-interval 300ms >"$LOGS/s2.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_ready "$R0" s0
+wait_ready "$R1" s1
+wait_ready "$R2" s2
+"$BIN/proxyrouter" -addr "$ROUTER" -probe-interval 200ms \
+  -backends "s0=http://$R0,s1=http://$R1,s2=http://$R2" >"$LOGS/router.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_ready "$ROUTER" router
+
+N=6
+"$BIN/fleetcheck" -url "http://$ROUTER" -mode smoke || fail "smoke failed"
+"$BIN/fleetcheck" -url "http://$ROUTER" -mode mix -n "$N" \
+  -backends "s0=http://$R0,s1=http://$R1,s2=http://$R2" || fail "mix failed"
+
+echo "fleet-e2e: waiting for gossip to equalise the caches"
+i=0
+while :; do
+  e0=$(metric "$R0" proxyd_result_cache_entries)
+  e1=$(metric "$R1" proxyd_result_cache_entries)
+  e2=$(metric "$R2" proxyd_result_cache_entries)
+  [ "$e0" = "$e1" ] && [ "$e1" = "$e2" ] && [ "$e0" -ge "$N" ] && break
+  i=$((i + 1))
+  [ "$i" -ge 100 ] && fail "caches never converged (s0=$e0 s1=$e1 s2=$e2)"
+  sleep 0.2
+done
+echo "fleet-e2e: all replicas hold $e0 cache entries"
+
+echo "fleet-e2e: kill -9 replica s1"
+kill -9 "$S1_PID"
+i=0
+while [ "$(metric "$ROUTER" 'proxyrouter_backend_healthy{backend="s1"}')" != 0 ]; do
+  i=$((i + 1))
+  [ "$i" -ge 100 ] && fail "router never noticed the dead replica"
+  sleep 0.2
+done
+
+"$BIN/fleetcheck" -url "http://$ROUTER" -mode postkill -n "$N" \
+  -backends "s0=http://$R0,s2=http://$R2" || fail "postkill failed"
+
+echo "fleet-e2e: ok (availability after kill, zero duplicate simulations)"
