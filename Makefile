@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full test-sim-short test-sim-nondeterminism test-sim-import-export test-sim-multi-seed test-fuzz fleet-e2e bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
+.PHONY: build test test-full test-sim-short test-sim-nondeterminism test-sim-import-export test-sim-multi-seed test-fuzz fleet-e2e loadgen-soak bench bench-json bench-check cover lint lint-docs lint-links lint-settings fmt
 
 ## build: compile every package and command
 build:
@@ -59,6 +59,12 @@ test-fuzz:
 fleet-e2e:
 	sh scripts/fleet-e2e.sh
 
+## loadgen-soak: boot a real proxyd and drive bursty zipfian traffic through
+## cmd/loadgen — asserts cross-request coalescing engaged, p99 stayed under a
+## generous bound, and no goroutines leaked (finishes inside a minute)
+loadgen-soak:
+	sh scripts/loadgen-soak.sh
+
 ## bench: run every benchmark once (tables/figures + kernel speedups)
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
@@ -68,17 +74,22 @@ bench:
 ## (BenchmarkTune), and the two end-to-end steady-state benchmarks
 ## (BenchmarkProxyStep: a full AlexNet proxy step on a pooled session;
 ## BenchmarkServeRun: the in-process scheduler round-trip of a repeated
-## /v1/run) — and write the results to BENCH_cache.json.  Each benchmark
-## runs -count=5 times; benchjson keeps the minimum ns/op (and the maximum
-## allocs/op) so one noisy host run cannot skew the baseline.  ProxyStep
-## (sequential) and ServeRun must report 0 allocs/op: the compare gate
-## fails on any new allocation on a zero-alloc benchmark.
+## /v1/run), plus BenchmarkServeConcurrentCold — eight concurrent cold
+## requests spanning two trace groups, served request-per-sweep (solo)
+## versus through one collection window (coalesced) — and write the results
+## to BENCH_cache.json.  Each benchmark runs -count=5 times; benchjson
+## keeps the minimum ns/op (and the maximum allocs/op) so one noisy host
+## run cannot skew the baseline.  ProxyStep (sequential) and ServeRun must
+## report 0 allocs/op: the compare gate fails on any new allocation on a
+## zero-alloc benchmark.
 bench-json:
 	$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json \
 		./internal/arch ./internal/sim > BENCH_cache.tmp
 	$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json \
 		./internal/tuner >> BENCH_cache.tmp
 	$(GO) test -run='^$$' -bench='ServeRun' -benchmem -benchtime=100000x -count=5 -json \
+		./internal/serve >> BENCH_cache.tmp
+	$(GO) test -run='^$$' -bench='ServeConcurrentCold' -benchmem -benchtime=2x -count=5 -json \
 		./internal/serve >> BENCH_cache.tmp
 	$(GO) test -run='^$$' -bench='ProxyStep' -benchmem -benchtime=20x -count=5 -json \
 		. >> BENCH_cache.tmp
@@ -96,13 +107,14 @@ bench-check:
 		echo "bench-check: BENCH_GATE=off -- smoke run only (no baseline comparison)"; \
 		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchtime=1x ./internal/arch ./internal/sim && \
 		$(GO) test -run='^$$' -bench='Tune' -benchtime=1x ./internal/tuner && \
-		$(GO) test -run='^$$' -bench='ServeRun' -benchtime=1x ./internal/serve && \
+		$(GO) test -run='^$$' -bench='ServeRun|ServeConcurrentCold' -benchtime=1x ./internal/serve && \
 		$(GO) test -run='^$$' -bench='ProxyStep' -benchtime=1x .; \
 	else \
 		rm -f BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='CacheAccess|ExecLoad' -benchmem -benchtime=100000x -count=5 -json ./internal/arch ./internal/sim > BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='Tune' -benchmem -benchtime=3x -count=5 -json ./internal/tuner >> BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='ServeRun' -benchmem -benchtime=100000x -count=5 -json ./internal/serve >> BENCH_fresh.tmp && \
+		$(GO) test -run='^$$' -bench='ServeConcurrentCold' -benchmem -benchtime=2x -count=5 -json ./internal/serve >> BENCH_fresh.tmp && \
 		$(GO) test -run='^$$' -bench='ProxyStep' -benchmem -benchtime=20x -count=5 -json . >> BENCH_fresh.tmp && \
 		$(GO) run ./cmd/benchjson -compare BENCH_cache.json -tolerance 0.25 < BENCH_fresh.tmp; \
 		status=$$?; rm -f BENCH_fresh.tmp; exit $$status; \

@@ -95,13 +95,16 @@ func parseBackends(spec string) ([]namedBackend, error) {
 }
 
 // mixSettings builds n distinct settings plus one deliberate duplicate of
-// the first, so every mix exercises batch-internal deduplication too.
+// the first, so every mix exercises batch-internal deduplication too.  The
+// settings vary chunkSize so each lands in its own trace group — that keeps
+// proxyd_run_executed_total (which counts trace groups, not requests) equal
+// to the number of distinct settings simulated.
 func mixSettings(n int) []map[string]float64 {
 	settings := make([]map[string]float64, 0, n+1)
 	for i := 0; i < n; i++ {
-		settings = append(settings, map[string]float64{"dataSize": 1 + float64(i)*0.1})
+		settings = append(settings, map[string]float64{"chunkSize": 1 + float64(i)*0.1})
 	}
-	return append(settings, map[string]float64{"dataSize": 1})
+	return append(settings, map[string]float64{"chunkSize": 1})
 }
 
 // executedTotal sums proxyd_run_executed_total across the given replicas.

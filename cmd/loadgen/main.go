@@ -1,0 +1,241 @@
+// Command loadgen drives a running proxyd (or proxyrouter) with a traffic
+// shape the serving layer actually sees in production: bursts of concurrent
+// requests whose settings follow a zipfian popularity curve, opening with a
+// cold phase (every setting fresh, cross-request coalescing does the work)
+// and settling into a warm phase (popular settings answered from the result
+// cache).  It reports client-side latency percentiles alongside the server's
+// executed/coalesced/shed counter deltas, so a soak run can assert both that
+// coalescing engaged and that tail latency stayed bounded.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-duration 15s] [-burst 8] [-gap 5ms]
+//	        [-groups 2] [-per-group 4] [-zipf-s 1.3] [-seed 1]
+//	        [-workload terasort] [-max-p99 0]
+//
+// The setting universe holds -groups × -per-group entries: chunkSize varies
+// across groups (each group is a distinct execution trace, so cold traffic
+// costs one simulation per group per sweep) and dataSize varies within a
+// group (same trace, different extrapolation).  -max-p99, when positive,
+// makes loadgen exit non-zero if the observed p99 exceeds it — that is the
+// CI soak gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dataproxy/pkg/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	url := flag.String("url", "http://127.0.0.1:8080", "target base URL")
+	workload := flag.String("workload", "terasort", "workload to exercise")
+	duration := flag.Duration("duration", 15*time.Second, "total load duration (first half cold-heavy, second half warm)")
+	burst := flag.Int("burst", 8, "concurrent requests per burst")
+	gap := flag.Duration("gap", 5*time.Millisecond, "pause between bursts")
+	groups := flag.Int("groups", 2, "distinct trace groups in the setting universe (chunkSize variants)")
+	perGroup := flag.Int("per-group", 4, "settings per trace group (dataSize variants)")
+	zipfS := flag.Float64("zipf-s", 1.3, "zipf skew of setting popularity (>1; larger = more head-heavy)")
+	seed := flag.Int64("seed", 1, "PRNG seed for reproducible traffic")
+	maxP99 := flag.Duration("max-p99", 0, "exit non-zero if p99 latency exceeds this bound (0 = no gate)")
+	flag.Parse()
+	if *burst < 1 || *groups < 1 || *perGroup < 1 {
+		log.Fatal("-burst, -groups and -per-group must be positive")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+time.Minute)
+	defer cancel()
+	// No client-side retries: a shed burst should be counted as shed, not
+	// silently retried into the next window.
+	c := client.New(*url, client.WithRetries(0))
+	if err := c.Ready(ctx); err != nil {
+		log.Fatalf("target not ready: %v", err)
+	}
+	before, err := serverCounters(ctx, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	universe := settingUniverse(*groups, *perGroup)
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(universe)-1))
+	agg := runLoad(ctx, c, *workload, universe, zipf, rng, *duration, *burst, *gap)
+
+	after, err := serverCounters(ctx, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(agg, before, after, *duration)
+	if *maxP99 > 0 {
+		if p99 := agg.percentile(0.99); p99 > *maxP99 {
+			log.Fatalf("p99 %s exceeds -max-p99 %s", p99, *maxP99)
+		}
+	}
+	if agg.errors > 0 {
+		log.Fatalf("%d requests failed with non-shed errors", agg.errors)
+	}
+}
+
+// settingUniverse builds groups×perGroup settings ordered so that zipf rank 0
+// cycles through trace groups first: the hottest settings span every group,
+// which keeps cold bursts coalescible across the whole popularity curve.
+func settingUniverse(groups, perGroup int) []map[string]float64 {
+	out := make([]map[string]float64, 0, groups*perGroup)
+	for d := 0; d < perGroup; d++ {
+		for g := 0; g < groups; g++ {
+			out = append(out, map[string]float64{
+				"chunkSize": 1 + float64(g)*0.5,
+				"dataSize":  1 + float64(d)*0.1,
+			})
+		}
+	}
+	return out
+}
+
+// aggregate accumulates per-request observations across all bursts.
+type aggregate struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	sent      int
+	ok        int
+	warmHits  int
+	shed      int
+	errors    int
+}
+
+// record folds one finished request into the aggregate.
+func (a *aggregate) record(lat time.Duration, res *client.RunResponse, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sent++
+	switch {
+	case err == nil:
+		a.ok++
+		a.latencies = append(a.latencies, lat)
+		if res.Coalesced {
+			a.warmHits++
+		}
+	case client.IsShed(err):
+		a.shed++
+	default:
+		a.errors++
+	}
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of successful latencies.
+func (a *aggregate) percentile(q float64) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(a.latencies))
+	copy(sorted, a.latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// runLoad fires bursts until the duration elapses.  Within a burst every
+// request draws its setting independently from the zipf curve, so concurrent
+// lanes naturally repeat popular settings (warm hits) and fan across trace
+// groups (coalescible cold misses).
+func runLoad(ctx context.Context, c *client.Client, workload string, universe []map[string]float64,
+	zipf *rand.Zipf, rng *rand.Rand, duration time.Duration, burst int, gap time.Duration) *aggregate {
+	agg := &aggregate{}
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		picks := make([]map[string]float64, burst)
+		for i := range picks {
+			picks[i] = universe[zipf.Uint64()]
+		}
+		var wg sync.WaitGroup
+		for _, s := range picks {
+			wg.Add(1)
+			go func(s map[string]float64) {
+				defer wg.Done()
+				start := time.Now()
+				res, err := c.Run(ctx, client.RunRequest{Workload: workload, Setting: s})
+				agg.record(time.Since(start), res, err)
+			}(s)
+		}
+		wg.Wait()
+		if gap > 0 {
+			// Jitter the inter-burst gap so bursts do not phase-lock with
+			// the server's collection window.
+			time.Sleep(gap + time.Duration(rng.Int63n(int64(gap)+1)))
+		}
+	}
+	return agg
+}
+
+// counters is the slice of server-side /metrics the load report cares about.
+type counters struct {
+	executed, coalesced, shed, windowBatches float64
+}
+
+// serverCounters scrapes the run counters from the target's /metrics.
+func serverCounters(ctx context.Context, c *client.Client) (counters, error) {
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		return counters{}, fmt.Errorf("scraping metrics: %w", err)
+	}
+	var out counters
+	for _, m := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"proxyd_run_executed_total", &out.executed},
+		{"proxyd_run_coalesced_total", &out.coalesced},
+		{"proxyd_run_shed_total", &out.shed},
+		{"proxyd_coalesce_window_batches_total", &out.windowBatches},
+	} {
+		// The window-batches counter is absent when the target is a router;
+		// treat missing metrics as zero rather than failing the run.
+		if v, ok := client.ParseMetric(text, m.name); ok {
+			*m.dst = v
+		}
+	}
+	return out, nil
+}
+
+// report prints the client- and server-side view of the finished run.
+func report(agg *aggregate, before, after counters, duration time.Duration) {
+	agg.mu.Lock()
+	sent, ok, warm, shed, errs := agg.sent, agg.ok, agg.warmHits, agg.shed, agg.errors
+	agg.mu.Unlock()
+	fmt.Printf("requests: sent=%d ok=%d warm=%d shed=%d errors=%d (%.0f req/s)\n",
+		sent, ok, warm, shed, errs, float64(sent)/duration.Seconds())
+	fmt.Printf("latency:  p50=%s p90=%s p99=%s\n",
+		agg.percentile(0.50), agg.percentile(0.90), agg.percentile(0.99))
+	fmt.Printf("server:   executed=%+g coalesced=%+g shed=%+g window_batches=%+g\n",
+		after.executed-before.executed, after.coalesced-before.coalesced,
+		after.shed-before.shed, after.windowBatches-before.windowBatches)
+	if os.Getenv("LOADGEN_METRICS_OUT") != "" {
+		// Machine-readable counter deltas for soak scripts that want to
+		// assert on them without re-parsing the human report.
+		f, err := os.Create(os.Getenv("LOADGEN_METRICS_OUT"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(f, "executed %g\ncoalesced %g\nshed %g\nwindow_batches %g\n",
+			after.executed-before.executed, after.coalesced-before.coalesced,
+			after.shed-before.shed, after.windowBatches-before.windowBatches)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

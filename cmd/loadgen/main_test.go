@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dataproxy/pkg/client"
+)
+
+func TestSettingUniverseSpansGroups(t *testing.T) {
+	universe := settingUniverse(3, 4)
+	if len(universe) != 12 {
+		t.Fatalf("universe holds %d settings, want 12", len(universe))
+	}
+	chunks := map[float64]bool{}
+	for _, s := range universe {
+		chunks[s["chunkSize"]] = true
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("universe spans %d chunkSize values, want 3 trace groups", len(chunks))
+	}
+	// Rank order cycles groups first: the three hottest settings must all
+	// sit in different trace groups.
+	head := map[float64]bool{}
+	for _, s := range universe[:3] {
+		head[s["chunkSize"]] = true
+	}
+	if len(head) != 3 {
+		t.Fatalf("hottest 3 settings span %d groups, want 3", len(head))
+	}
+}
+
+func TestAggregateRecordAndPercentiles(t *testing.T) {
+	agg := &aggregate{}
+	for i := 1; i <= 100; i++ {
+		agg.record(time.Duration(i)*time.Millisecond, &client.RunResponse{Coalesced: i%2 == 0}, nil)
+	}
+	agg.record(0, nil, &client.APIError{Code: client.CodeShed, Status: 429})
+	agg.record(0, nil, fmt.Errorf("boom"))
+	if agg.sent != 102 || agg.ok != 100 || agg.shed != 1 || agg.errors != 1 || agg.warmHits != 50 {
+		t.Fatalf("counts sent=%d ok=%d shed=%d errors=%d warm=%d", agg.sent, agg.ok, agg.shed, agg.errors, agg.warmHits)
+	}
+	if p50 := agg.percentile(0.50); p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %s, want 50ms", p50)
+	}
+	if p99 := agg.percentile(0.99); p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %s, want 99ms", p99)
+	}
+	if (&aggregate{}).percentile(0.99) != 0 {
+		t.Fatal("empty aggregate percentile should be 0")
+	}
+}
+
+// stubServer answers the minimal /v1 + /metrics surface loadgen touches,
+// counting run requests so the load loop's volume is observable.
+func stubServer(t *testing.T, runs *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "proxyd_run_executed_total %d\n", runs.Load())
+		fmt.Fprintf(w, "proxyd_run_coalesced_total 7\n")
+		fmt.Fprintf(w, "proxyd_run_shed_total 0\n")
+		fmt.Fprintf(w, "proxyd_coalesce_window_batches_total 3\n")
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		runs.Add(1)
+		fmt.Fprint(w, `{"workload":"terasort","arch":"westmere","runtime_seconds":0.5,"coalesced":true,"metrics":{}}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunLoadDrivesBursts(t *testing.T) {
+	var runs atomic.Int64
+	ts := stubServer(t, &runs)
+	c := client.New(ts.URL, client.WithRetries(0))
+	universe := settingUniverse(2, 2)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(universe)-1))
+
+	agg := runLoad(context.Background(), c, "terasort", universe, zipf, rng,
+		150*time.Millisecond, 4, time.Millisecond)
+	if agg.sent == 0 || agg.sent%4 != 0 {
+		t.Fatalf("sent %d requests, want a positive multiple of the burst size", agg.sent)
+	}
+	if int64(agg.sent) != runs.Load() {
+		t.Fatalf("client sent %d but server saw %d", agg.sent, runs.Load())
+	}
+	if agg.ok != agg.sent || agg.warmHits != agg.sent {
+		t.Fatalf("ok=%d warm=%d, want all %d", agg.ok, agg.warmHits, agg.sent)
+	}
+}
+
+func TestServerCountersAndReport(t *testing.T) {
+	var runs atomic.Int64
+	runs.Store(12)
+	ts := stubServer(t, &runs)
+	c := client.New(ts.URL, client.WithRetries(0))
+	ctx := context.Background()
+
+	before, err := serverCounters(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.executed != 12 || before.coalesced != 7 || before.shed != 0 || before.windowBatches != 3 {
+		t.Fatalf("counters %+v", before)
+	}
+
+	out := filepath.Join(t.TempDir(), "deltas.txt")
+	t.Setenv("LOADGEN_METRICS_OUT", out)
+	agg := &aggregate{}
+	agg.record(time.Millisecond, &client.RunResponse{Coalesced: true}, nil)
+	report(agg, counters{executed: 2}, counters{executed: 14, coalesced: 7, windowBatches: 3}, time.Second)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "executed 12\ncoalesced 7\nshed 0\nwindow_batches 3\n"
+	if string(data) != want {
+		t.Fatalf("deltas file:\n%s\nwant:\n%s", data, want)
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	proxyd [-addr :8080] [-inflight N] [-queue N] [-jobqueue N] [-parallel N]
+//	       [-coalesce-window 2ms] [-coalesce-lanes N] [-log-level LEVEL]
 //	       [-state-dir DIR] [-snapshot-interval 30s] [-shutdown-timeout 10s]
 //	       [-name SHARD] [-peers name=url,...] [-gossip-interval 2s] [-gossip-batch N]
 //	       [-faults SPEC] [-check-invariants] [-pprof addr]
@@ -23,8 +24,16 @@
 //
 // Identical /v1/run requests coalesce through the server's result cache
 // (keyed bit-exactly like the auto-tuner's memo); overload is shed with 429.
-// All /v1 errors carry the versioned envelope
-// {"error":{"code":"...","message":"...","retry_after_ms":N}}.
+// Concurrent cold requests additionally micro-batch: settings arriving
+// within -coalesce-window (default 2ms; negative disables) gather up to
+// -coalesce-lanes per (architecture, benchmark) group and execute as one
+// lockstep sweep — a lone request drains its window immediately, so the
+// window is a worst-case latency bound, not a tax.  All /v1 errors carry the
+// versioned envelope {"error":{"code":"...","message":"...","retry_after_ms":N}}.
+//
+// With -log-level the daemon writes one structured (slog) line per request
+// to stderr — method, route, status, duration, shard and whether the run
+// was coalesced.  Levels: debug, info, warn, error.
 //
 // With -peers the replica joins a fleet: completed result-cache entries
 // gossip to the named peers in bounded batches, so a setting simulated on
@@ -46,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -68,6 +78,9 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth beyond the in-flight slots (0 = default 16, negative = none)")
 	jobQueue := flag.Int("jobqueue", 0, "queued tune jobs before shedding (0 = default 16)")
 	cache := flag.Int("cache", 0, "result-cache entries before the cache is swapped out (0 = default 4096)")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "max wait for cross-request batching of cold runs (0 = default 2ms, negative = disabled)")
+	coalesceLanes := flag.Int("coalesce-lanes", 0, "max requests per coalesced sweep (0 = default 16)")
+	logLevel := flag.String("log-level", "", "structured request logging to stderr at this level (debug|info|warn|error); empty disables")
 	par := flag.Int("parallel", 0, "host worker count of the shared execution engine (0 = all CPUs, 1 = sequential)")
 	stateDir := flag.String("state-dir", "", "directory for crash-safe state snapshots; empty disables persistence")
 	snapInterval := flag.Duration("snapshot-interval", 0, "background snapshot cadence with -state-dir (0 = default 30s)")
@@ -118,11 +131,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	requestLog, err := buildRequestLog(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:      *inflight,
 		QueueDepth:       *queue,
 		JobQueueDepth:    *jobQueue,
 		MaxCacheEntries:  *cache,
+		CoalesceWindow:   *coalesceWindow,
+		CoalesceLanes:    *coalesceLanes,
+		RequestLog:       requestLog,
 		StateDir:         *stateDir,
 		SnapshotInterval: *snapInterval,
 		ShutdownTimeout:  *shutdownTimeout,
@@ -164,6 +184,19 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// buildRequestLog resolves the -log-level flag into a stderr slog logger;
+// an empty level disables request logging (nil logger).
+func buildRequestLog(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("proxyd: -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // parsePeers parses the -peers flag: comma-separated name=url pairs.

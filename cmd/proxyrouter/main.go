@@ -9,6 +9,11 @@
 //
 //	proxyrouter -backends "s0=http://h0:8080,s1=http://h1:8080,s2=http://h2:8080"
 //	            [-addr :8090] [-name proxyrouter] [-vnodes 128] [-probe-interval 1s]
+//	            [-log-level LEVEL]
+//
+// With -log-level the router writes one structured (slog) line per request
+// to stderr — method, route, status, duration and the owning shard it
+// forwarded to.  Levels: debug, info, warn, error.
 //
 // Endpoints mirror proxyd: /healthz, /readyz (200 while any backend is
 // ready), /metrics (proxyrouter_* exposition), /v1/workloads, /v1/archs,
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,17 +47,27 @@ func main() {
 	backends := flag.String("backends", "", `proxyd replicas as comma-separated name=url pairs, e.g. "s0=http://10.0.0.1:8080,s1=http://10.0.0.2:8080"`)
 	vnodes := flag.Int("vnodes", 0, "consistent-hash points per backend (0 = default 128)")
 	probeInterval := flag.Duration("probe-interval", 0, "backend /readyz probe cadence (0 = default 1s)")
+	logLevel := flag.String("log-level", "", "structured request logging to stderr at this level (debug|info|warn|error); empty disables")
 	flag.Parse()
 
 	backendList, err := parseBackends(*backends)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var requestLog *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("-log-level %q: %v", *logLevel, err)
+		}
+		requestLog = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
 	rt, err := fleet.NewRouter(fleet.Config{
 		Name:          *name,
 		Backends:      backendList,
 		Vnodes:        *vnodes,
 		ProbeInterval: *probeInterval,
+		RequestLog:    requestLog,
 	})
 	if err != nil {
 		log.Fatal(err)

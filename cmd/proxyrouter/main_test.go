@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseBackends(t *testing.T) {
+	backends, err := parseBackends("s0=http://h0:8080, s1=http://h1:8080/,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backends) != 2 || backends[0].Name != "s0" || backends[1].URL != "http://h1:8080" {
+		t.Fatalf("parsed %+v", backends)
+	}
+	for _, bad := range []string{"s0", "=http://x", "s0="} {
+		if _, err := parseBackends(bad); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
+}

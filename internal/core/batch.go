@@ -93,6 +93,15 @@ func RunBatch(pool *sim.ClusterPool, b *Benchmark, settings []Setting) ([]sim.Re
 	return reports, nil
 }
 
+// TraceKey renders the fields of the effective parameter vector that shape
+// the execution trace — the grouping key RunBatch merges settings under.
+// Settings with equal trace keys can ride one simulation: they differ only
+// in pure extrapolation factors (dataSize with an unchanged clamped sample,
+// and weight), so one motif compute serves every lane of the group.  The
+// serving layer's cross-request coalescer uses it to account how many
+// simulations a merged sweep actually performs.
+func (b *Benchmark) TraceKey(s Setting) string { return b.traceKey(s) }
+
 // traceKey renders the fields of the effective parameter vector that shape
 // the execution trace: the clamped sample volume plus every parameter the
 // input generator or the task split may read.  Settings with equal trace

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -48,6 +49,10 @@ type Config struct {
 	// ProbeInterval is the cadence of background /readyz health probes.
 	// Zero selects 1 second.
 	ProbeInterval time.Duration
+	// RequestLog, when non-nil, receives one structured line per routed
+	// request (method, route, status, duration, owning shard).  Nil disables
+	// request logging.
+	RequestLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -165,14 +170,62 @@ func (rt *Router) routes() {
 	rt.handle("GET /v1/cluster", rt.handleCluster)
 }
 
-// handle registers a route with request counting.
+// handle registers a route with request counting and — when
+// Config.RequestLog is set — one structured log line per request.
 func (rt *Router) handle(pattern string, h http.HandlerFunc) {
 	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rt.reqMu.Lock()
 		rt.reqCounts[pattern]++
 		rt.reqMu.Unlock()
-		h(w, r)
+		lg := rt.cfg.RequestLog
+		if lg == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		info := &routedInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRouted{}, info))
+		sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		attrs := []any{
+			"method", r.Method,
+			"route", pattern,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if info.shard != "" {
+			attrs = append(attrs, "shard", info.shard)
+		}
+		lg.Info("request", attrs...)
 	})
+}
+
+// statusRecorder captures the status code a handler writes, for the request
+// log.  Handlers that never call WriteHeader implicitly answer 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routedInfo carries per-request annotations (the owning shard a request
+// forwarded to) from the forwarding path back to the logging middleware;
+// ctxKeyRouted keys it into the request context.
+type routedInfo struct{ shard string }
+
+type ctxKeyRouted struct{}
+
+// annotateShard records the owning backend for the request log; it is a
+// no-op when request logging is off.
+func annotateShard(ctx context.Context, shard string) {
+	if info, ok := ctx.Value(ctxKeyRouted{}).(*routedInfo); ok {
+		info.shard = shard
+	}
 }
 
 // alive reports a backend's current health; it is the ring's liveness input.
@@ -236,6 +289,7 @@ func (rt *Router) forwardRaw(ctx context.Context, key, method, path string, body
 			continue
 		}
 		b.forwarded.Add(1)
+		annotateShard(ctx, b.name)
 		return b, resp, true
 	}
 }

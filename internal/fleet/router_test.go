@@ -144,12 +144,15 @@ func TestBatchSplitsAcrossShardsInOrder(t *testing.T) {
 	tf := newTestFleet(t, 3)
 	ctx := context.Background()
 
+	// chunkSize variation keeps every setting in its own trace group, so
+	// each one is a distinct simulation in proxyd_run_executed_total (the
+	// counter counts trace groups, not requests).
 	settings := []map[string]float64{
 		nil,
-		{"dataSize": 1.2},
-		{"dataSize": 1.4},
-		{"dataSize": 1.6},
-		{"dataSize": 1.8},
+		{"chunkSize": 1.2},
+		{"chunkSize": 1.4},
+		{"chunkSize": 1.6},
+		{"chunkSize": 1.8},
 	}
 	owners := make(map[string]bool)
 	for _, s := range settings {

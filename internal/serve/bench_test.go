@@ -2,13 +2,16 @@ package serve
 
 import (
 	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"dataproxy/internal/core"
 	"dataproxy/internal/perf"
 	"dataproxy/internal/proxy"
 	"dataproxy/internal/sim"
 	"dataproxy/internal/testutil"
+	"dataproxy/internal/tuner"
 )
 
 // BenchmarkServeRun measures the in-process scheduler round-trip of a
@@ -19,7 +22,7 @@ import (
 // which the bench gate enforces via the committed baseline.
 func BenchmarkServeRun(b *testing.B) {
 	proto := testutil.WestmereCluster()
-	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
+	sc := newScheduler(2, 16, 4096, 0, 1, map[string]*sim.Cluster{"westmere": proto})
 	bench, err := proxy.ForWorkload("terasort")
 	if err != nil {
 		b.Fatal(err)
@@ -53,7 +56,7 @@ func BenchmarkServeRun(b *testing.B) {
 // enforces 0 allocs/op via the committed baseline.
 func BenchmarkServeRunBatch(b *testing.B) {
 	proto := testutil.WestmereCluster()
-	sc := newScheduler(2, 16, 4096, map[string]*sim.Cluster{"westmere": proto})
+	sc := newScheduler(2, 16, 4096, 0, 1, map[string]*sim.Cluster{"westmere": proto})
 	bench, err := proxy.ForWorkload("terasort")
 	if err != nil {
 		b.Fatal(err)
@@ -83,4 +86,63 @@ func BenchmarkServeRunBatch(b *testing.B) {
 			b.Fatal("steady-state batch should be served entirely from the cache")
 		}
 	}
+}
+
+// benchColdSettings is the concurrent-cold workload: eight settings spanning
+// exactly two trace groups (distinct chunkSize factors); the dataSize-only
+// variants within a group share its execution trace, so a coalesced sweep
+// performs two simulations where per-request execution performs eight.
+func benchColdSettings() []core.Setting {
+	out := make([]core.Setting, 0, 8)
+	for _, chunk := range []float64{1, 2} {
+		for _, data := range []float64{1.1, 1.2, 1.3, 1.4} {
+			out = append(out, core.Setting{"chunkSize": chunk, "dataSize": data})
+		}
+	}
+	return out
+}
+
+// BenchmarkServeConcurrentCold measures the tentpole win of cross-request
+// micro-batching: eight concurrent cold /v1/run requests whose settings span
+// two trace groups, served request-per-sweep (solo: coalescing disabled,
+// eight simulations) versus through one collection window (coalesced: the
+// size cap seals at eight lanes, two simulations).  Each iteration starts
+// from a fresh result cache so every request is genuinely cold.  The bench
+// gate tracks both; coalesced must sustain at least twice solo's
+// throughput.
+func BenchmarkServeConcurrentCold(b *testing.B) {
+	proto := testutil.WestmereCluster()
+	bench, err := proxy.ForWorkload("terasort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	settings := benchColdSettings()
+	burst := func(b *testing.B, sc *scheduler) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.memo.Store(tuner.NewMemo())
+			var wg sync.WaitGroup
+			for _, s := range settings {
+				wg.Add(1)
+				go func(s core.Setting) {
+					defer wg.Done()
+					if _, _, err := sc.run(ctx, "westmere", bench, s); err != nil {
+						b.Error(err)
+					}
+				}(s)
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("solo", func(b *testing.B) {
+		sc := newScheduler(8, 16, 1<<20, 0, 1, map[string]*sim.Cluster{"westmere": proto})
+		sc.idleDrain = false
+		burst(b, sc)
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		sc := newScheduler(8, 16, 1<<20, time.Second, len(settings), map[string]*sim.Cluster{"westmere": proto})
+		sc.idleDrain = false
+		burst(b, sc)
+	})
 }

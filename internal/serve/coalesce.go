@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dataproxy/internal/core"
+	"dataproxy/internal/perf"
+	"dataproxy/internal/sim"
+	"dataproxy/internal/tuner"
+)
+
+// Cross-request micro-batching.  PR 6 made K settings sharing a trace key
+// ride ONE simulation — but only within a single request.  The coalescer
+// extends that amortization across the request boundary: cold single-run
+// requests for the same (architecture, benchmark) group gather in a bounded
+// collection window and execute as one tuner lockstep sweep on one
+// execution slot, with per-lane results (success, error or recovered panic)
+// fanned back to each waiting request.  A window seals — no further lanes
+// join — when the first of three bounds hits: the collection window
+// elapses, the batch reaches maxLanes, or the system is idle (a lone
+// request never waits; its window drains immediately).  Coalescing must be
+// invisible in results: one merged sweep funnels through the same
+// tuner.Memo claim protocol as per-request execution, so metrics, memo
+// bookkeeping and fresh accounting stay bit-identical to the sequential
+// order — the property coalesce_test.go pins at several worker counts.
+
+// cwindow is one open collection window: the cold single-run settings of
+// one (architecture, benchmark) group, gathered while the window accepts
+// joiners and executed as one sweep after it seals.
+type cwindow struct {
+	archName string
+	b        *core.Benchmark
+	// memo is the result cache the window's first joiner missed in; the
+	// whole sweep executes against it (entries are self-contained, so a
+	// concurrent cache swap only costs future coalescing).
+	memo     *tuner.Memo
+	openedAt time.Time
+
+	// settings accumulates one lane per joined request, guarded by the
+	// scheduler's cmu until sealed closes (after which it is immutable).
+	settings []core.Setting
+
+	// sealed closes when the window stops accepting lanes; done closes when
+	// metrics/fresh/errs are populated.  lead holds a single token for the
+	// executor role: sealed participants race for it, the winner runs the
+	// sweep, and a winner whose context dies before it gets a slot returns
+	// the token so another participant can take over — no lane is ever
+	// stranded by its neighbour's cancellation.
+	sealed chan struct{}
+	done   chan struct{}
+	lead   chan struct{}
+
+	timer *time.Timer
+
+	metrics []perf.Metrics
+	fresh   []bool
+	errs    []error
+}
+
+// joinWindow adds setting s to the open collection window of its group —
+// opening one if needed — and returns the window and the caller's lane
+// index.  It seals the window at the size cap, and immediately when the
+// joining request is the only admitted one (idle drain: a lone request must
+// not pay the window bound).
+func (sc *scheduler) joinWindow(archName string, b *core.Benchmark, memo *tuner.Memo, s core.Setting) (*cwindow, int) {
+	key := archName + "|" + b.Name
+	sc.cmu.Lock()
+	w := sc.windows[key]
+	if w == nil {
+		w = &cwindow{
+			archName: archName,
+			b:        b,
+			memo:     memo,
+			openedAt: time.Now(),
+			sealed:   make(chan struct{}),
+			done:     make(chan struct{}),
+			lead:     make(chan struct{}, 1),
+		}
+		w.lead <- struct{}{}
+		sc.windows[key] = w
+		w.timer = time.AfterFunc(sc.window, func() { sc.seal(key, w) })
+	}
+	idx := len(w.settings)
+	w.settings = append(w.settings, s)
+	if len(w.settings) >= sc.maxLanes ||
+		(idx == 0 && sc.idleDrain && sc.admitted.Load() == 1) {
+		sc.sealLocked(key, w)
+	}
+	sc.cmu.Unlock()
+	return w, idx
+}
+
+// seal is the timer-driven entry to sealLocked.
+func (sc *scheduler) seal(key string, w *cwindow) {
+	sc.cmu.Lock()
+	sc.sealLocked(key, w)
+	sc.cmu.Unlock()
+}
+
+// sealLocked (cmu held) closes window w for joining: it leaves the open-
+// window map, so the next cold request of the group opens a fresh window.
+// The map check makes sealing idempotent across its racing triggers (timer,
+// size cap, idle drain).
+func (sc *scheduler) sealLocked(key string, w *cwindow) {
+	if sc.windows[key] != w {
+		return
+	}
+	delete(sc.windows, key)
+	w.timer.Stop()
+	close(w.sealed)
+}
+
+// runCoalesced executes one admitted cold single-run request through the
+// collection window of its group: join, wait for the window to seal, race
+// for the executor role, and read this request's own lane back out.  The
+// returned coalesced flag reports whether the lane was answered without a
+// fresh simulation (a duplicate of another lane or an earlier memo entry).
+func (sc *scheduler) runCoalesced(ctx context.Context, archName string, b *core.Benchmark, memo *tuner.Memo, s core.Setting) (perf.Metrics, bool, error) {
+	w, idx := sc.joinWindow(archName, b, memo, s)
+	select {
+	case <-w.sealed:
+	case <-ctx.Done():
+		return perf.Metrics{}, false, ctx.Err()
+	}
+	for {
+		select {
+		case <-w.done:
+			return w.metrics[idx], !w.fresh[idx], w.errs[idx]
+		case <-w.lead:
+			if err := sc.executeWindow(ctx, w); err != nil {
+				return perf.Metrics{}, false, err
+			}
+		case <-ctx.Done():
+			return perf.Metrics{}, false, ctx.Err()
+		}
+	}
+}
+
+// executeWindow runs the sealed window's sweep on one execution slot and
+// publishes per-lane results by closing done.  The caller must hold the
+// executor token; on slot-acquisition failure the token is returned (and
+// the error reported) so another participant can execute instead.
+func (sc *scheduler) executeWindow(ctx context.Context, w *cwindow) error {
+	if err := sc.acquireSlot(ctx); err != nil {
+		w.lead <- struct{}{}
+		return err
+	}
+	defer sc.releaseSlot()
+	sc.windowBatches.Add(1)
+	sc.waitHist.observe(time.Since(w.openedAt).Seconds())
+	sc.laneHist.observe(float64(len(w.settings)))
+	pool := sc.pools[w.archName]
+	w.metrics, w.fresh, w.errs = sc.evalWindow(pool, w)
+	freshCount := 0
+	for _, f := range w.fresh {
+		if f {
+			freshCount++
+		}
+	}
+	sc.executed.Add(int64(sc.traceGroups(w.b, w.settings, w.fresh)))
+	sc.coalesced.Add(int64(len(w.settings) - freshCount))
+	if freshCount > 0 {
+		sc.maybeEvict(w.memo)
+	}
+	close(w.done)
+	return nil
+}
+
+// evalWindow evaluates the window's lanes, normalising every failure mode
+// into per-lane errors of the right length: a panicking sweep is recovered
+// here (the memo has already cached the panic on each claimed entry, so
+// twins replay it) and fails every lane of THIS window without taking the
+// serving goroutine down; a malformed evaluator result fails them all too.
+// Waiters therefore always find complete result slices behind done.
+func (sc *scheduler) evalWindow(pool *sim.ClusterPool, w *cwindow) (metrics []perf.Metrics, fresh []bool, errs []error) {
+	n := len(w.settings)
+	fail := func(err error) ([]perf.Metrics, []bool, []error) {
+		metrics = make([]perf.Metrics, n)
+		fresh = make([]bool, n)
+		errs = make([]error, n)
+		for i := range errs {
+			errs[i] = err
+		}
+		return metrics, fresh, errs
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			metrics, fresh, errs = fail(fmt.Errorf("serve: coalesced sweep panicked: %v", r))
+		}
+	}()
+	metrics, fresh, errs = sc.evalFn(pool, w.b, w.memo, w.settings)
+	if len(metrics) != n || len(fresh) != n || len(errs) != n {
+		return fail(fmt.Errorf("serve: evaluator returned %d results for %d settings", len(metrics), n))
+	}
+	return metrics, fresh, errs
+}
+
+// laneBuckets and waitBuckets are the exposition bucket bounds of the
+// coalescer histograms: lanes per sweep (counts) and window wait (seconds).
+var (
+	laneBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+	waitBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1}
+)
+
+// histogram is a fixed-bucket, Prometheus-style histogram with lock-free
+// observation: per-bucket counts are plain (non-cumulative) atomics,
+// cumulated only at exposition time, and the sum accumulates through a
+// float64-bits compare-and-swap.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the extra slot is the +Inf bucket
+	sum    atomic.Uint64  // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one value.
+func (h *histogram) observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// write emits the histogram in Prometheus exposition format (cumulative
+// _bucket series plus _sum and _count) under the given metric name.
+func (h *histogram) write(out io.Writer, name string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(out, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(out, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(out, "%s_sum %g\n", name, math.Float64frombits(h.sum.Load()))
+	fmt.Fprintf(out, "%s_count %d\n", name, cum)
+}

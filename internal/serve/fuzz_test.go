@@ -29,14 +29,14 @@ func fuzzHandler(f *testing.F) http.Handler {
 		if err != nil {
 			f.Fatal(err)
 		}
-		s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+		s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error) {
 			ms := make([]perf.Metrics, len(settings))
 			fresh := make([]bool, len(settings))
 			for i := range ms {
 				ms[i] = perf.Metrics{Runtime: 1, IPC: 1, L1DHit: 0.9}
 				fresh[i] = true
 			}
-			return ms, fresh, nil
+			return ms, fresh, make([]error, len(settings))
 		}
 		fuzzSrv = s
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dataproxy/internal/core"
 	"dataproxy/internal/faultinject"
@@ -31,6 +32,15 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 // (benchmark, core.Setting.Canonical(), cluster/arch) key the auto-tuner
 // memoizes on — so a repeated /v1/run never spends an admission slot or a
 // simulation, and tune jobs sharing the memo reuse the very same entries.
+//
+// Non-identical cold requests coalesce too, when window > 0: concurrent
+// single-run requests for the same (architecture, benchmark) gather in a
+// bounded collection window and execute as ONE lockstep sweep on one
+// execution slot, with per-lane results fanned back to each waiting request
+// (see coalesce.go).  Admission is therefore split in two: admit/unadmit
+// account every contributing request individually (so overload sheds each
+// request on its own), while acquireSlot/releaseSlot meter actual
+// executions — one slot per sweep, however many requests ride it.
 type scheduler struct {
 	maxInFlight int
 	queueDepth  int
@@ -39,6 +49,22 @@ type scheduler struct {
 	// one token per executing simulation.
 	admitted atomic.Int64
 	slots    chan struct{}
+
+	// window bounds how long a cold request may wait for cross-request
+	// companions before its batch drains (0 disables cross-request
+	// coalescing); maxLanes caps the batch size (a full window drains
+	// immediately).  idleDrain, default true, drains a lone request's window
+	// with no wait at all — tests and benchmarks clear it to make batch
+	// composition deterministic.
+	window    time.Duration
+	maxLanes  int
+	idleDrain bool
+
+	// cmu guards windows, the open collection window per
+	// architecture|benchmark group.  Sealed windows leave the map, so a
+	// window found in it always accepts another lane.
+	cmu     sync.Mutex
+	windows map[string]*cwindow
 
 	// memo is the current result cache.  The server runs indefinitely and
 	// clients choose the settings (arbitrary float factors), so the cache
@@ -63,8 +89,9 @@ type scheduler struct {
 	// tuner.Evaluator entry point every cold execution funnels through.
 	// Tests replace it to control timing and results.  The returned fresh
 	// flags report which settings were simulated (vs answered from memo
-	// entries or batch duplicates), exactly as EvaluateTracked does.
-	evalFn func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error)
+	// entries or batch duplicates) and errs carries each lane's own cached
+	// error, exactly as EvaluateLanes does.
+	evalFn func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error)
 
 	// draining sheds every new admission with ErrOverloaded once the server
 	// begins a graceful drain; warm cache answers stay available (they cost
@@ -76,29 +103,44 @@ type scheduler struct {
 	// completed entries so a warm restart still benefits from them.
 	onEvict func(old *tuner.Memo)
 
-	executed  atomic.Int64 // simulations actually performed
+	executed  atomic.Int64 // simulations actually performed (distinct trace groups)
 	coalesced atomic.Int64 // requests served from the result cache / singleflight
 	shed      atomic.Int64 // requests rejected with ErrOverloaded
 	evictions atomic.Int64 // cache swaps forced by MaxCacheEntries
+
+	windowBatches atomic.Int64 // coalesced sweeps executed from collection windows
+	laneHist      *histogram   // lanes per coalesced sweep
+	waitHist      *histogram   // seconds from window open to sweep start
 }
 
-func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, protos map[string]*sim.Cluster) *scheduler {
+func newScheduler(maxInFlight, queueDepth, maxCacheEntries int, window time.Duration, maxLanes int, protos map[string]*sim.Cluster) *scheduler {
 	pools := make(map[string]*sim.ClusterPool, len(protos))
 	for name, proto := range protos {
 		pools[name] = sim.NewClusterPool(proto)
+	}
+	if maxLanes < 1 {
+		maxLanes = 1
 	}
 	sc := &scheduler{
 		maxInFlight:     maxInFlight,
 		queueDepth:      queueDepth,
 		slots:           make(chan struct{}, maxInFlight),
+		window:          window,
+		maxLanes:        maxLanes,
+		idleDrain:       true,
+		windows:         make(map[string]*cwindow),
 		maxCacheEntries: maxCacheEntries,
 		protos:          protos,
 		pools:           pools,
-		evalFn: func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
-			if err := faultinject.Fire("serve.evaluate"); err != nil {
-				return nil, nil, err
-			}
-			return tuner.NewEvaluator(pool, b, memo).EvaluateTracked(settings)
+		laneHist:        newHistogram(laneBuckets),
+		waitHist:        newHistogram(waitBuckets),
+		evalFn: func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error) {
+			// The fault site fires inside the evaluator's cold hook — within
+			// the memo claims — so an injected error or panic is cached per
+			// lane and completes waiters exactly like a real failure.
+			return tuner.NewEvaluator(pool, b, memo).
+				WithColdHook(func() error { return faultinject.Fire("serve.evaluate") }).
+				EvaluateLanes(settings)
 		},
 	}
 	sc.keyBufs.New = func() any { b := make([]byte, 0, 512); return &b }
@@ -149,8 +191,11 @@ func (sc *scheduler) pool(archName string) (*sim.ClusterPool, error) {
 // straight from the cache with no admission — and with zero allocations:
 // the key is built into a pooled scratch buffer against the prototype's
 // cached fingerprint and looked up byte-wise.  A cache miss materialises
-// the key string, passes admission, and executes on a pooled cluster (or
-// blocks on an in-flight twin).
+// the key string, passes admission, and — when cross-request coalescing is
+// enabled — joins the open collection window of its (architecture,
+// benchmark) group to ride one lockstep sweep with concurrent cold
+// requests; with coalescing disabled it executes alone on a pooled cluster
+// (or blocks on an in-flight twin).
 func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark, s core.Setting) (perf.Metrics, bool, error) {
 	proto, err := sc.proto(archName)
 	if err != nil {
@@ -167,12 +212,19 @@ func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark
 	}
 	*buf = keyBytes
 	sc.keyBufs.Put(buf)
-	if err := sc.acquire(ctx); err != nil {
+	if err := sc.admit(); err != nil {
 		return perf.Metrics{}, false, err
 	}
-	defer sc.release()
+	defer sc.unadmit()
+	if sc.window > 0 {
+		return sc.runCoalesced(ctx, archName, b, memo, s)
+	}
+	if err := sc.acquireSlot(ctx); err != nil {
+		return perf.Metrics{}, false, err
+	}
+	defer sc.releaseSlot()
 	pool := sc.pools[archName]
-	ms, fresh, err := sc.evalFn(pool, b, memo, []core.Setting{s})
+	ms, fresh, errs := sc.evalFn(pool, b, memo, []core.Setting{s})
 	var m perf.Metrics
 	executed := false
 	if len(ms) == 1 {
@@ -180,6 +232,9 @@ func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark
 	}
 	if len(fresh) == 1 {
 		executed = fresh[0]
+	}
+	if len(errs) == 1 {
+		err = errs[0]
 	}
 	if executed {
 		sc.executed.Add(1)
@@ -205,6 +260,7 @@ func (sc *scheduler) run(ctx context.Context, archName string, b *core.Benchmark
 // individually for future requests (and duplicates within the batch simulate
 // once).  A cached failure on any setting fails the whole batch with that
 // error, matching the single-run path where cached errors are replayed.
+// Batches are already batch-shaped and do not join collection windows.
 func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benchmark, settings []core.Setting, metrics []perf.Metrics, coalesced []bool) error {
 	proto, err := sc.proto(archName)
 	if err != nil {
@@ -244,12 +300,14 @@ func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benc
 	}
 	defer sc.release()
 	pool := sc.pools[archName]
-	ms, fresh, err := sc.evalFn(pool, b, memo, coldSettings)
-	if err == nil && (len(ms) != len(coldSettings) || len(fresh) != len(coldSettings)) {
-		err = fmt.Errorf("serve: evaluator returned %d results for %d settings", len(ms), len(coldSettings))
+	ms, fresh, errs := sc.evalFn(pool, b, memo, coldSettings)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	if err != nil {
-		return err
+	if len(ms) != len(coldSettings) || len(fresh) != len(coldSettings) {
+		return fmt.Errorf("serve: evaluator returned %d results for %d settings", len(ms), len(coldSettings))
 	}
 	freshCount := 0
 	for j, i := range coldIdx {
@@ -259,7 +317,7 @@ func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benc
 			freshCount++
 		}
 	}
-	sc.executed.Add(int64(freshCount))
+	sc.executed.Add(int64(sc.traceGroups(b, coldSettings, fresh)))
 	sc.coalesced.Add(int64(len(settings) - freshCount))
 	if freshCount > 0 {
 		sc.maybeEvict(memo)
@@ -267,11 +325,36 @@ func (sc *scheduler) runBatch(ctx context.Context, archName string, b *core.Benc
 	return nil
 }
 
-// acquire admits the calling request: it joins the admission queue if there
-// is room (maxInFlight executing + queueDepth waiting) and then blocks until
-// an execution slot or cancellation.  It returns ErrOverloaded when the
-// queue is full or the server is draining.
-func (sc *scheduler) acquire(ctx context.Context) error {
+// traceGroups counts the distinct trace groups among the fresh lanes of one
+// sweep — the number of simulations core.RunBatch actually performed for it,
+// which is what the executed counter reports.  The single-fresh fast path
+// avoids the map (and the key rendering) on the overwhelmingly common
+// one-cold-setting request.
+func (sc *scheduler) traceGroups(b *core.Benchmark, settings []core.Setting, fresh []bool) int {
+	n := 0
+	for _, f := range fresh {
+		if f {
+			n++
+		}
+	}
+	if n <= 1 {
+		return n
+	}
+	groups := make(map[string]struct{}, n)
+	for i, f := range fresh {
+		if f {
+			groups[b.TraceKey(settings[i])] = struct{}{}
+		}
+	}
+	return len(groups)
+}
+
+// admit joins the admission queue: it reserves one of the
+// maxInFlight+queueDepth accounting places or sheds the request with
+// ErrOverloaded (queue full, or the server is draining).  Every request is
+// admitted individually — including each contributor of a coalesced sweep —
+// so overload sheds requests one by one even when their executions merge.
+func (sc *scheduler) admit() error {
 	if sc.draining.Load() {
 		sc.shed.Add(1)
 		return ErrOverloaded
@@ -281,18 +364,42 @@ func (sc *scheduler) acquire(ctx context.Context) error {
 		sc.shed.Add(1)
 		return ErrOverloaded
 	}
+	return nil
+}
+
+// unadmit returns the accounting place taken by admit.
+func (sc *scheduler) unadmit() { sc.admitted.Add(-1) }
+
+// acquireSlot blocks until an execution slot is free or ctx ends.  One slot
+// covers one sweep, however many admitted requests coalesced onto it.
+func (sc *scheduler) acquireSlot(ctx context.Context) error {
 	select {
 	case sc.slots <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		sc.admitted.Add(-1)
 		return ctx.Err()
 	}
 }
 
+// releaseSlot frees the execution slot taken by acquireSlot.
+func (sc *scheduler) releaseSlot() { <-sc.slots }
+
+// acquire admits the calling request and blocks until an execution slot: the
+// combined form used by the paths where one request is one execution.
+func (sc *scheduler) acquire(ctx context.Context) error {
+	if err := sc.admit(); err != nil {
+		return err
+	}
+	if err := sc.acquireSlot(ctx); err != nil {
+		sc.unadmit()
+		return err
+	}
+	return nil
+}
+
 func (sc *scheduler) release() {
-	<-sc.slots
-	sc.admitted.Add(-1)
+	sc.releaseSlot()
+	sc.unadmit()
 }
 
 // inFlight returns the number of requests currently holding or waiting for

@@ -246,7 +246,7 @@ func TestRunShedsOverloadWith429(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1})
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error) {
 		started <- struct{}{}
 		<-release
 		ms := make([]perf.Metrics, len(settings))
@@ -255,7 +255,7 @@ func TestRunShedsOverloadWith429(t *testing.T) {
 			ms[i] = perf.Metrics{Runtime: setting.Get("dataSize")}
 			fresh[i] = true
 		}
-		return ms, fresh, nil
+		return ms, fresh, make([]error, len(settings))
 	}
 
 	first := make(chan int, 1)
@@ -374,7 +374,7 @@ func TestRunBatchShedsWholeBatch(t *testing.T) {
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
 	var calls atomic.Int32
-	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error) {
 		if calls.Add(1) > 1 {
 			started <- struct{}{}
 			<-release
@@ -383,7 +383,7 @@ func TestRunBatchShedsWholeBatch(t *testing.T) {
 		for i, setting := range settings {
 			keys[i] = tuner.MemoKey(pool.Proto(), b, setting)
 		}
-		return memo.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+		return memo.MeasureLanes(keys, func(cold []int) ([]perf.Metrics, error) {
 			out := make([]perf.Metrics, len(cold))
 			for j, i := range cold {
 				out[j] = perf.Metrics{Runtime: settings[i].Get("dataSize")}
@@ -715,12 +715,12 @@ func TestResultCacheIsBounded(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxCacheEntries: 2})
 	// The stub still writes through the shared memo (the real evalFn's
 	// contract) so cache growth and eviction behave as in production.
-	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, error) {
+	s.sched.evalFn = func(pool *sim.ClusterPool, b *core.Benchmark, memo *tuner.Memo, settings []core.Setting) ([]perf.Metrics, []bool, []error) {
 		keys := make([]string, len(settings))
 		for i, setting := range settings {
 			keys[i] = tuner.MemoKey(pool.Proto(), b, setting)
 		}
-		return memo.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+		return memo.MeasureLanes(keys, func(cold []int) ([]perf.Metrics, error) {
 			out := make([]perf.Metrics, len(cold))
 			for j, i := range cold {
 				out[j] = perf.Metrics{Runtime: settings[i].Get("dataSize")}

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -69,6 +70,20 @@ type Config struct {
 	// cache exceeds this many entries and is swapped for a fresh one.  Zero
 	// selects 4096.
 	MaxCacheEntries int
+	// CoalesceWindow bounds how long a cold /v1/run request may wait for
+	// concurrent cold companions before its cross-request batch drains; a
+	// lone request drains immediately, so the window is a worst-case bound,
+	// not a tax.  Zero selects 2ms; negative disables cross-request
+	// coalescing (identical-request singleflight always stays on).
+	CoalesceWindow time.Duration
+	// CoalesceLanes caps how many requests one coalesced sweep may carry; a
+	// full window drains without waiting out CoalesceWindow.  Zero selects
+	// 16; negative selects 1.
+	CoalesceLanes int
+	// RequestLog, when non-nil, receives one structured line per HTTP
+	// request (method, route, status, duration, shard, coalesced flag).
+	// Nil disables request logging.
+	RequestLog *slog.Logger
 	// MaxJobHistory bounds the retained job records: beyond it the oldest
 	// finished jobs are pruned (queued/running jobs never are).  Zero
 	// selects 1024.
@@ -112,6 +127,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCacheEntries <= 0 {
 		c.MaxCacheEntries = 4096
+	}
+	switch {
+	case c.CoalesceWindow == 0:
+		c.CoalesceWindow = 2 * time.Millisecond
+	case c.CoalesceWindow < 0:
+		c.CoalesceWindow = 0
+	}
+	switch {
+	case c.CoalesceLanes == 0:
+		c.CoalesceLanes = 16
+	case c.CoalesceLanes < 0:
+		c.CoalesceLanes = 1
 	}
 	if c.MaxJobHistory <= 0 {
 		c.MaxJobHistory = 1024
@@ -192,7 +219,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
-		sched:     newScheduler(cfg.MaxInFlight, cfg.QueueDepth, cfg.MaxCacheEntries, protos),
+		sched:     newScheduler(cfg.MaxInFlight, cfg.QueueDepth, cfg.MaxCacheEntries, cfg.CoalesceWindow, cfg.CoalesceLanes, protos),
 		jobs:      newJobStore(cfg.MaxJobHistory),
 		realMemo:  tuner.NewMemo(),
 		tuneQueue: make(chan tuneJob, cfg.JobQueueDepth),
@@ -307,7 +334,8 @@ func (s *Server) routes() {
 	s.handle("POST /v1/peer/entries", s.handlePeerEntries)
 }
 
-// handle registers a route with request counting and the in-flight gauge.
+// handle registers a route with request counting, the in-flight gauge and —
+// when Config.RequestLog is set — one structured log line per request.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.httpInFlight.Add(1)
@@ -315,8 +343,60 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		s.reqMu.Lock()
 		s.reqCounts[pattern]++
 		s.reqMu.Unlock()
-		h(w, r)
+		lg := s.cfg.RequestLog
+		if lg == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		info := &reqLogInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyReqLog{}, info))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		attrs := []any{
+			"method", r.Method,
+			"route", pattern,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
+			"shard", s.cfg.Name,
+		}
+		if info.hasCoalesced {
+			attrs = append(attrs, "coalesced", info.coalesced)
+		}
+		lg.Info("request", attrs...)
 	})
+}
+
+// statusWriter captures the status code a handler writes, for the request
+// log.  Handlers that never call WriteHeader implicitly answer 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// reqLogInfo carries per-request annotations (today: the run handlers'
+// coalesced flag) from a handler back to the logging middleware; ctxKeyReqLog
+// keys it into the request context.
+type reqLogInfo struct {
+	coalesced    bool
+	hasCoalesced bool
+}
+
+type ctxKeyReqLog struct{}
+
+// annotateCoalesced records the run's coalesced flag for the request log; it
+// is a no-op when request logging is off.
+func annotateCoalesced(ctx context.Context, coalesced bool) {
+	if info, ok := ctx.Value(ctxKeyReqLog{}).(*reqLogInfo); ok {
+		info.coalesced = coalesced
+		info.hasCoalesced = true
+	}
 }
 
 // RunRequest is the body of POST /v1/run.
@@ -422,6 +502,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	annotateCoalesced(r.Context(), coalesced)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Workload:       req.Workload,
 		Benchmark:      b.Name,
@@ -452,13 +533,16 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request, req RunR
 		return
 	}
 	results := make([]RunResult, len(settings))
+	allCoalesced := true
 	for i := range settings {
 		results[i] = RunResult{
 			RuntimeSeconds: metrics[i].Runtime,
 			Coalesced:      coalesced[i],
 			Metrics:        metrics[i],
 		}
+		allCoalesced = allCoalesced && coalesced[i]
 	}
+	annotateCoalesced(r.Context(), allCoalesced)
 	writeJSON(w, http.StatusOK, RunBatchResponse{
 		Workload:  req.Workload,
 		Benchmark: b.Name,
@@ -909,6 +993,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "proxyd_sched_in_flight %d\n", s.sched.inFlight())
 	fmt.Fprintf(w, "proxyd_result_cache_entries %d\n", s.sched.currentMemo().Size())
 	fmt.Fprintf(w, "proxyd_cache_evictions_total %d\n", s.sched.evictions.Load())
+	fmt.Fprintf(w, "proxyd_coalesce_window_batches_total %d\n", s.sched.windowBatches.Load())
+	s.sched.laneHist.write(w, "proxyd_coalesce_lanes_per_sweep")
+	s.sched.waitHist.write(w, "proxyd_coalesce_window_wait_seconds")
 	counts := s.jobs.counts()
 	for _, state := range []JobState{JobQueued, JobRunning, JobDone, JobFailed} {
 		fmt.Fprintf(w, "proxyd_jobs{state=%q} %d\n", state, counts[state])

@@ -43,6 +43,12 @@ type MemoEvaluator struct {
 	pool *sim.ClusterPool
 	b    *core.Benchmark
 	memo *Memo
+
+	// coldHook, when set, runs at the start of every cold sweep — inside the
+	// memo claims, so an error or panic it raises is cached per entry like
+	// any measurement failure.  The serving layer injects its fault site
+	// here.
+	coldHook func() error
 }
 
 // NewEvaluator builds a MemoEvaluator.  A nil memo gets a private one, which
@@ -52,6 +58,18 @@ func NewEvaluator(pool *sim.ClusterPool, b *core.Benchmark, memo *Memo) *MemoEva
 		memo = NewMemo()
 	}
 	return &MemoEvaluator{pool: pool, b: b, memo: memo}
+}
+
+// WithColdHook installs a hook that runs at the start of every cold sweep
+// this evaluator executes — inside the memo's claims, so an error (or
+// panic) raised by the hook lands as a cached per-entry failure exactly
+// like a failing measurement would.  It returns the evaluator for chaining;
+// a nil hook clears it.  The serving layer uses it to place its
+// fault-injection site where injected failures exercise the same completion
+// paths real ones take.
+func (ev *MemoEvaluator) WithColdHook(hook func() error) *MemoEvaluator {
+	ev.coldHook = hook
+	return ev
 }
 
 // Evaluate implements Evaluator.
@@ -66,12 +84,32 @@ func (ev *MemoEvaluator) Evaluate(settings []core.Setting) ([]perf.Metrics, erro
 // Callers that account evaluations vs. cache hits (the tuner's counters, the
 // serve scheduler's Prometheus counters) use this form.
 func (ev *MemoEvaluator) EvaluateTracked(settings []core.Setting) ([]perf.Metrics, []bool, error) {
+	ms, fresh, errs := ev.EvaluateLanes(settings)
+	for _, err := range errs {
+		if err != nil {
+			return ms, fresh, err
+		}
+	}
+	return ms, fresh, nil
+}
+
+// EvaluateLanes is EvaluateTracked with per-setting error reporting
+// (Memo.MeasureLanes semantics): errs[i] carries setting i's own cached
+// error instead of the whole batch collapsing onto the first failure.  The
+// serve scheduler's cross-request coalescer uses it to fan one merged sweep
+// back to many waiting requests, failing only the lanes that failed.
+func (ev *MemoEvaluator) EvaluateLanes(settings []core.Setting) ([]perf.Metrics, []bool, []error) {
 	keys := make([]string, len(settings))
 	proto := ev.pool.Proto()
 	for i, s := range settings {
 		keys[i] = MemoKey(proto, ev.b, s)
 	}
-	return ev.memo.MeasureBatch(keys, func(cold []int) ([]perf.Metrics, error) {
+	return ev.memo.MeasureLanes(keys, func(cold []int) ([]perf.Metrics, error) {
+		if ev.coldHook != nil {
+			if err := ev.coldHook(); err != nil {
+				return nil, err
+			}
+		}
 		coldSettings := make([]core.Setting, len(cold))
 		for j, i := range cold {
 			coldSettings[j] = settings[i]

@@ -130,6 +130,24 @@ func (m *Memo) Measure(key string, run func() (perf.Metrics, error)) (metrics pe
 // on every claimed entry so waiters never hang and failing settings are not
 // re-simulated.  The returned error is the first per-key error in key order.
 func (m *Memo) MeasureBatch(keys []string, run func(cold []int) ([]perf.Metrics, error)) ([]perf.Metrics, []bool, error) {
+	metrics, fresh, errs := m.MeasureLanes(keys, run)
+	for _, err := range errs {
+		if err != nil {
+			return metrics, fresh, err
+		}
+	}
+	return metrics, fresh, nil
+}
+
+// MeasureLanes is MeasureBatch with per-lane error reporting: instead of
+// collapsing the batch onto the first per-key error, errs[i] carries key i's
+// own cached error (nil on success), so a caller fanning one merged sweep
+// back to many independent waiters — the serve scheduler's cross-request
+// coalescer — can fail exactly the lanes whose settings failed and answer
+// the rest.  The claim protocol is identical: never-measured keys are
+// claimed up front and completed on success, error and panic alike, so no
+// lane's waiter ever hangs, whichever caller claimed its entry.
+func (m *Memo) MeasureLanes(keys []string, run func(cold []int) ([]perf.Metrics, error)) ([]perf.Metrics, []bool, []error) {
 	entries := make([]*memoEntry, len(keys))
 	fresh := make([]bool, len(keys))
 	var cold []int
@@ -145,7 +163,7 @@ func (m *Memo) MeasureBatch(keys []string, run func(cold []int) ([]perf.Metrics,
 		runColdBatch(keys, entries, cold, run)
 	}
 	metrics := make([]perf.Metrics, len(keys))
-	var firstErr error
+	errs := make([]error, len(keys))
 	for i, e := range entries {
 		if !fresh[i] {
 			// Cold entries completed above, so waiting here cannot deadlock
@@ -153,11 +171,9 @@ func (m *Memo) MeasureBatch(keys []string, run func(cold []int) ([]perf.Metrics,
 			<-e.ready
 		}
 		metrics[i] = e.metrics
-		if firstErr == nil && e.err != nil {
-			firstErr = e.err
-		}
+		errs[i] = e.err
 	}
-	return metrics, fresh, firstErr
+	return metrics, fresh, errs
 }
 
 // runColdBatch executes run over the claimed cold entries and completes
